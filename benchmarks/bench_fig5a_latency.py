@@ -1,0 +1,87 @@
+"""E1 — Figure 5(a): pingpong latency vs message size.
+
+Regenerates the paper's latency graph: one-way latency of messages
+between applications on two machines, for vmmcESP / vmmcOrig /
+vmmcOrigNoFastPaths, sizes 4 B – 4 KB.
+
+Paper shape: vmmcESP is ~2× vmmcOrig for 4 B messages and ~38 % slower
+at 4 KB; vmmcESP is at most ~35 % slower than vmmcOrigNoFastPaths
+(worst at 64 B) and comparable at the extremes; both graphs jump at
+the 32/64 B boundary (small messages are a special case).
+"""
+
+import pytest
+
+from benchmarks.harness import LATENCY_SIZES, Table
+from repro.vmmc.workloads import pingpong_latency
+
+ROUNDS = 8
+WARMUP = 2
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    data = {}
+    for size in LATENCY_SIZES:
+        for impl in ("esp", "orig", "orig_nofast"):
+            data[(impl, size)] = pingpong_latency(
+                impl, size, rounds=ROUNDS, warmup=WARMUP
+            ).latency_us
+    return data
+
+
+def test_fig5a_table(sweep):
+    table = Table(
+        "Figure 5(a) — one-way latency (us)",
+        ["size", "vmmcESP", "vmmcOrig", "vmmcOrigNoFastPaths",
+         "esp/orig", "esp/nofast"],
+    )
+    for size in LATENCY_SIZES:
+        esp = sweep[("esp", size)]
+        orig = sweep[("orig", size)]
+        nofast = sweep[("orig_nofast", size)]
+        table.add(size, esp, orig, nofast, esp / orig, esp / nofast)
+    table.note("paper: esp/orig ~2.0 at 4 B, ~1.38 at 4 KB; "
+               "esp/nofast <= 1.35 (worst at 64 B), ~1 at 4 B and 4 KB")
+    table.show()
+
+
+def test_shape_orig_always_fastest(sweep):
+    for size in LATENCY_SIZES:
+        assert sweep[("orig", size)] <= sweep[("orig_nofast", size)] + 1e-6
+        assert sweep[("orig", size)] < sweep[("esp", size)]
+
+
+def test_shape_esp_about_2x_orig_at_4_bytes(sweep):
+    ratio = sweep[("esp", 4)] / sweep[("orig", 4)]
+    assert 1.6 <= ratio <= 2.8, ratio
+
+
+def test_shape_gap_narrows_at_4k(sweep):
+    small = sweep[("esp", 4)] / sweep[("orig", 4)]
+    big = sweep[("esp", 4096)] / sweep[("orig", 4096)]
+    assert big < small
+    assert 1.05 <= big <= 1.6, big
+
+
+def test_shape_esp_close_to_nofast(sweep):
+    # "only 35% slower than vmmcOrigNoFastPaths in the worst case"
+    worst = max(
+        sweep[("esp", s)] / sweep[("orig_nofast", s)] for s in LATENCY_SIZES
+    )
+    assert worst <= 1.45, worst
+    # comparable at 4 KB
+    assert sweep[("esp", 4096)] / sweep[("orig_nofast", 4096)] <= 1.2
+
+
+def test_shape_32_64_discontinuity(sweep):
+    # The 32/64 B jump: 64 B adds the fetch DMA.
+    for impl in ("esp", "orig", "orig_nofast"):
+        jump = sweep[(impl, 64)] - sweep[(impl, 32)]
+        step = sweep[(impl, 32)] - sweep[(impl, 16)]
+        assert jump > step + 1.0, impl
+
+
+def test_benchmark_pingpong_run(benchmark):
+    # Wall-clock cost of regenerating one Figure 5(a) point.
+    benchmark(lambda: pingpong_latency("esp", 1024, rounds=4, warmup=1))

@@ -1,0 +1,76 @@
+"""E2 — Figure 5(b): one-way bandwidth vs message size.
+
+Paper shape: vmmcESP delivers ~41 % less bandwidth than vmmcOrig at
+1 KB and ~14 % less at 64 KB; ~25 %/~12 % against
+vmmcOrigNoFastPaths.
+"""
+
+import pytest
+
+from benchmarks.harness import BANDWIDTH_SIZES, Table
+from repro.vmmc.workloads import one_way_bandwidth
+
+MESSAGES = 24
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    data = {}
+    for size in BANDWIDTH_SIZES:
+        for impl in ("esp", "orig", "orig_nofast"):
+            data[(impl, size)] = one_way_bandwidth(
+                impl, size, messages=MESSAGES
+            ).bandwidth_mb_s
+    return data
+
+
+def test_fig5b_table(sweep):
+    table = Table(
+        "Figure 5(b) — one-way bandwidth (MB/s)",
+        ["size", "vmmcESP", "vmmcOrig", "vmmcOrigNoFastPaths",
+         "esp deficit vs orig", "vs nofast"],
+    )
+    for size in BANDWIDTH_SIZES:
+        esp = sweep[("esp", size)]
+        orig = sweep[("orig", size)]
+        nofast = sweep[("orig_nofast", size)]
+        table.add(size, esp, orig, nofast,
+                  f"{1 - esp / orig:+.0%}", f"{1 - esp / nofast:+.0%}")
+    table.note("paper: 41% less than orig at 1 KB, 14% at 64 KB; "
+               "25%/12% vs NoFastPaths")
+    table.show()
+
+
+def test_shape_orig_fastest_everywhere(sweep):
+    for size in BANDWIDTH_SIZES:
+        assert sweep[("orig", size)] >= sweep[("esp", size)]
+        assert sweep[("orig", size)] >= sweep[("orig_nofast", size)] - 1e-6
+
+
+def test_shape_deficit_at_1k(sweep):
+    deficit = 1 - sweep[("esp", 1024)] / sweep[("orig", 1024)]
+    assert 0.30 <= deficit <= 0.55, deficit
+
+
+def test_shape_deficit_shrinks_at_64k(sweep):
+    d1k = 1 - sweep[("esp", 1024)] / sweep[("orig", 1024)]
+    d64k = 1 - sweep[("esp", 65536)] / sweep[("orig", 65536)]
+    assert d64k < d1k
+    assert 0.05 <= d64k <= 0.25, d64k
+
+
+def test_shape_bandwidth_grows_with_size(sweep):
+    for impl in ("esp", "orig", "orig_nofast"):
+        assert sweep[(impl, 65536)] > sweep[(impl, 1024)]
+
+
+def test_shape_nofast_between_esp_and_orig_at_1k(sweep):
+    assert (
+        sweep[("esp", 1024)]
+        < sweep[("orig_nofast", 1024)]
+        <= sweep[("orig", 1024)]
+    )
+
+
+def test_benchmark_bandwidth_run(benchmark):
+    benchmark(lambda: one_way_bandwidth("orig", 4096, messages=10))

@@ -1,0 +1,78 @@
+"""E3 — Figure 5(c): bidirectional (total) bandwidth vs message size.
+
+Paper shape: vmmcESP delivers ~23 % less total bandwidth than vmmcOrig
+at 1 KB but *similar* performance at 64 KB; the gap to
+vmmcOrigNoFastPaths is ~20 % at 1 KB.  The fast paths are brittle
+here — they require the DMAs free and no request in flight, which
+rarely holds when traffic flows both ways — so the vmmcOrig advantage
+largely evaporates (§6.2).
+"""
+
+import pytest
+
+from benchmarks.harness import Table
+from repro.vmmc.workloads import bidirectional_bandwidth, one_way_bandwidth
+
+SIZES = [256, 1024, 4096, 16384, 65536]
+MESSAGES = 20
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    data = {}
+    for size in SIZES:
+        for impl in ("esp", "orig", "orig_nofast"):
+            data[(impl, size)] = bidirectional_bandwidth(
+                impl, size, messages=MESSAGES
+            ).bandwidth_mb_s
+    return data
+
+
+def test_fig5c_table(sweep):
+    table = Table(
+        "Figure 5(c) — bidirectional total bandwidth (MB/s)",
+        ["size", "vmmcESP", "vmmcOrig", "vmmcOrigNoFastPaths",
+         "esp deficit vs orig"],
+    )
+    for size in SIZES:
+        esp = sweep[("esp", size)]
+        orig = sweep[("orig", size)]
+        nofast = sweep[("orig_nofast", size)]
+        table.add(size, esp, orig, nofast, f"{1 - esp / orig:+.0%}")
+    table.note("paper: 23% less at 1 KB; similar at 64 KB "
+               "(fast paths are brittle under bidirectional load)")
+    table.show()
+
+
+def test_shape_deficit_at_1k(sweep):
+    deficit = 1 - sweep[("esp", 1024)] / sweep[("orig", 1024)]
+    assert 0.15 <= deficit <= 0.40, deficit
+
+
+def test_shape_parity_at_64k(sweep):
+    deficit = abs(1 - sweep[("esp", 65536)] / sweep[("orig", 65536)])
+    assert deficit <= 0.10, deficit
+
+
+def test_shape_bidirectional_compresses_the_gap(sweep):
+    # The defining Figure 5(c) observation: the ESP deficit under
+    # bidirectional load is smaller than under one-way load at 1 KB.
+    one_way = {
+        impl: one_way_bandwidth(impl, 1024, messages=MESSAGES).bandwidth_mb_s
+        for impl in ("esp", "orig")
+    }
+    one_way_deficit = 1 - one_way["esp"] / one_way["orig"]
+    bidir_deficit = 1 - sweep[("esp", 1024)] / sweep[("orig", 1024)]
+    assert bidir_deficit < one_way_deficit
+
+
+def test_shape_fastpath_brittleness(sweep):
+    # vmmcOrig's advantage over NoFastPaths shrinks at 64 KB.
+    small = sweep[("orig", 1024)] / sweep[("orig_nofast", 1024)]
+    big = sweep[("orig", 65536)] / sweep[("orig_nofast", 65536)]
+    assert big <= small
+    assert big <= 1.1
+
+
+def test_benchmark_bidirectional_run(benchmark):
+    benchmark(lambda: bidirectional_bandwidth("orig_nofast", 4096, messages=8))

@@ -1,0 +1,84 @@
+"""E6 — verifying the retransmission protocol (§5.3).
+
+Paper: the sliding-window protocol was developed entirely in the SPIN
+simulator with a 65-line test harness, then ran on the card without
+new bugs (2 days of development against the 10 the original took).
+
+Regenerated artifact: the protocol plus its lossy-wire harness are
+verified exhaustively; every seeded protocol bug must produce a
+counterexample.
+"""
+
+import pytest
+
+from benchmarks.harness import Table
+from repro.tools.loc import count_source
+from repro.vmmc.retransmission import (
+    BUGGY_VARIANTS,
+    buggy_source,
+    protocol_source,
+    verify_protocol,
+)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    out = {"correct": verify_protocol("correct")}
+    for name in BUGGY_VARIANTS:
+        out[name] = verify_protocol(name, max_states=100_000)
+    return out
+
+
+def test_retransmission_table(reports):
+    table = Table(
+        "Retransmission protocol verification (§5.3)",
+        ["variant", "verdict", "states", "transitions", "time (s)",
+         "cex depth"],
+    )
+    for name, report in reports.items():
+        r = report.result
+        depth = r.violations[0].depth if r.violations else "-"
+        verdict = "ok" if report.ok else r.violations[0].kind
+        table.add(name, verdict, r.states, r.transitions,
+                  round(r.elapsed_seconds, 3), depth)
+    table.note("paper: protocol developed purely under the verifier; "
+               "65-line SPIN test harness")
+    table.show()
+
+
+def test_correct_protocol_verifies_exhaustively(reports):
+    report = reports["correct"]
+    assert report.ok
+    assert report.result.complete
+    # Same order of magnitude as the paper's exhaustive runs.
+    assert 100 <= report.result.states <= 50_000
+
+
+def test_every_seeded_bug_is_found(reports):
+    for name in BUGGY_VARIANTS:
+        assert not reports[name].ok, name
+        violation = reports[name].result.violations[0]
+        assert violation.trace, name  # counterexample produced
+
+
+def test_harness_is_small_like_the_papers():
+    # The paper's test harness was 65 lines; ours (wire + monitor
+    # processes + env hookup) is the same order.
+    source = protocol_source()
+    harness_lines = 0
+    in_harness = False
+    for line in source.splitlines():
+        if "Test harness" in line:
+            in_harness = True
+        if in_harness and line.strip() and not line.strip().startswith("//"):
+            harness_lines += 1
+    assert 10 <= harness_lines <= 130, harness_lines
+
+
+def test_bug_templates_still_apply():
+    for name in BUGGY_VARIANTS:
+        assert buggy_source(name) != protocol_source()
+
+
+def test_benchmark_exhaustive_verification(benchmark):
+    benchmark(lambda: verify_protocol("correct"))

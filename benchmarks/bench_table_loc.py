@@ -1,0 +1,85 @@
+"""E4 — the code-size comparison of §4.6.
+
+Paper: the original firmware was ~15,600 lines of C (~1,100 in fast
+paths); the ESP reimplementation took ~500 lines of ESP (200
+declarations + 300 process code) plus ~3,000 lines of simple C — an
+order of magnitude less state-machine code, with the complex
+interactions confined to the ESP part.
+
+We measure our own artifacts the same way.  Shape assertions: the ESP
+firmware is far smaller than the event-driven baseline; declarations
+vs process-code split is in the paper's ballpark proportions; all the
+*protocol* complexity lives in the ESP source (the helpers contain no
+state machines).
+"""
+
+import pytest
+
+from benchmarks.harness import Table
+from repro.tools.loc import (
+    count_source,
+    split_esp_declarations,
+    vmmc_code_size_comparison,
+)
+from repro.vmmc.firmware_esp import VMMC_ESP_SOURCE
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return vmmc_code_size_comparison()
+
+
+def test_loc_table(comparison):
+    paper = comparison["paper"]
+    ours = comparison["ours"]
+    table = Table(
+        "Code size (§4.6)",
+        ["artifact", "paper", "ours"],
+    )
+    table.add("event-driven firmware (C / baseline py)",
+              paper["orig_c_lines"], ours["baseline_lines"])
+    table.add("ESP firmware total", paper["esp_lines"], ours["esp_lines"])
+    table.add("  declarations", paper["esp_decl_lines"], ours["esp_decl_lines"])
+    table.add("  process code", paper["esp_process_lines"],
+              ours["esp_process_lines"])
+    table.add("helper code (C / py)", paper["esp_c_helper_lines"],
+              ours["esp_helper_lines"])
+    table.note("the paper's ratio orig:ESP is ~31x; ours is smaller because "
+               "our baseline implements only the benchmarked protocol subset")
+    table.show()
+
+
+def test_esp_firmware_much_smaller_than_baseline(comparison):
+    ours = comparison["ours"]
+    assert ours["esp_lines"] * 2 < ours["baseline_lines"]
+
+
+def test_esp_process_code_is_a_few_hundred_lines(comparison):
+    ours = comparison["ours"]
+    assert 50 <= ours["esp_process_lines"] <= 400
+    assert 30 <= ours["esp_decl_lines"] <= 300
+
+
+def test_complexity_is_localized():
+    # All state-machine interactions live in ESP: the helper adapter
+    # contains no state constants / handler tables.
+    import inspect
+
+    from repro.vmmc import firmware_esp
+
+    helper_source = inspect.getsource(firmware_esp.VMMCEspFirmware)
+    assert "setHandler" not in helper_source
+    assert "set_state" not in helper_source
+
+
+def test_counting_utilities():
+    report = count_source("// comment\n\ncode();\n/* block\nstill */\nmore();")
+    assert report.code == 2
+    assert report.comment == 3
+    assert report.blank == 1
+    decl, proc = split_esp_declarations(VMMC_ESP_SOURCE)
+    assert decl > 0 and proc > 0
+
+
+def test_benchmark_loc_accounting(benchmark):
+    benchmark(vmmc_code_size_comparison)

@@ -1,0 +1,58 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(tables E4/E5/E6/E7 and the three Figure 5 graphs), printing the same
+rows/series the paper reports and asserting the *shape* — who wins, by
+roughly what factor, where the crossovers fall.  Absolute numbers come
+from the simulated platform, not the authors' testbed (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A printable table of benchmark rows."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        rendered_rows = []
+        for row in self.rows:
+            cells = [_fmt(v) for v in row]
+            widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+            rendered_rows.append(cells)
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(c.rjust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for cells in rendered_rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+        for note in self.notes:
+            lines.append(f"   note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)
+
+
+LATENCY_SIZES = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+BANDWIDTH_SIZES = [64, 256, 1024, 4096, 8192, 16384, 65536]

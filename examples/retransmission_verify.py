@@ -1,0 +1,42 @@
+"""Developing a protocol under the verifier (§5.3).
+
+The paper's retransmission protocol was written and debugged entirely
+inside the model checker — the lossy network, the timeout source, and
+the correctness monitor are all part of the test harness, and every
+interleaving (every combination of losses and retransmissions) is
+explored before the code ever runs on a device.
+
+This example verifies the correct protocol, then seeds each of the
+catalogued bugs and shows the counterexample trace the verifier
+produces (the paper: "the verifier was able to find the bug in every
+case").
+
+Run:  python examples/retransmission_verify.py
+"""
+
+from repro.verify import format_trace
+from repro.vmmc.retransmission import BUGGY_VARIANTS, verify_protocol
+
+
+def main() -> None:
+    report = verify_protocol("correct")
+    print(f"correct protocol : {report.result.summary()}")
+    print("  (every loss/retransmission interleaving explored)\n")
+
+    for name in BUGGY_VARIANTS:
+        buggy = verify_protocol(name, max_states=100_000)
+        found = "FOUND" if not buggy.ok else "missed!"
+        print(f"seeded bug {name!r}: {found} "
+              f"({buggy.result.states} states explored)")
+        if buggy.result.violations:
+            violation = buggy.result.violations[0]
+            trace = format_trace(violation)
+            # Print the last few steps of the counterexample.
+            lines = trace.splitlines()
+            for line in lines[:1] + lines[-4:]:
+                print(f"    {line}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

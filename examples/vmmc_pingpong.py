@@ -1,0 +1,49 @@
+"""The headline experiment: VMMC firmware on simulated Myrinet NICs.
+
+Runs the paper's pingpong latency microbenchmark (Figure 5a) at a few
+message sizes under all three firmware implementations — the ESP
+firmware executing in the real ESP interpreter, and the baseline
+event-driven C-style firmware with and without its hand-optimized fast
+paths — then prints the comparison the paper's graphs show.
+
+Run:  python examples/vmmc_pingpong.py
+(benchmarks/bench_fig5a_latency.py regenerates the full figure.)
+"""
+
+from repro.vmmc import build_pair, pingpong_latency
+
+SIZES = [4, 64, 1024, 4096]
+LABELS = {"esp": "vmmcESP", "orig": "vmmcOrig",
+          "orig_nofast": "vmmcOrigNoFastPaths"}
+
+
+def main() -> None:
+    print(f"{'size':>6} {'vmmcESP':>10} {'vmmcOrig':>10} {'NoFastPaths':>12}"
+          f" {'esp/orig':>9}")
+    for size in SIZES:
+        row = {}
+        for impl in ("esp", "orig", "orig_nofast"):
+            row[impl] = pingpong_latency(impl, size, rounds=8,
+                                         warmup=2).latency_us
+        print(f"{size:>6} {row['esp']:>9.1f}u {row['orig']:>9.1f}u "
+              f"{row['orig_nofast']:>11.1f}u {row['esp']/row['orig']:>9.2f}")
+
+    # A peek inside one run: what the platform actually did.
+    pair = build_pair("esp")
+    done = []
+    pair.hosts[1].on_notify = done.append
+    pair.hosts[0].send(1, 0, 1024)
+    pair.sim.run_until(lambda: done, max_events=2_000_000)
+    nic = pair.nics[0]
+    fw = nic.firmware
+    print(f"\none 1 KB send through the ESP firmware:")
+    print(f"  simulated time        : {pair.sim.now:.2f} us")
+    print(f"  firmware CPU quanta   : {nic.stats.quanta}")
+    print(f"  interpreter operations: {fw.machine.counters.instructions} "
+          f"instructions, {fw.machine.counters.transfers} rendezvous")
+    print(f"  heap                  : {fw.machine.heap.counters.allocations} "
+          f"allocations, {fw.machine.heap.live_count()} still live")
+
+
+if __name__ == "__main__":
+    main()

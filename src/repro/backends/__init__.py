@@ -1,0 +1,2 @@
+"""Code-generation backends: C (firmware) and Promela (SPIN), the two
+targets of Figure 4."""

@@ -1,0 +1,5 @@
+"""The C backend: whole-program compilation to a single C file (§6.1)."""
+
+from repro.backends.c.codegen import CCodegen, generate_c
+
+__all__ = ["CCodegen", "generate_c"]

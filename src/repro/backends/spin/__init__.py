@@ -1,0 +1,5 @@
+"""The SPIN backend: Promela specification generation (§5.2)."""
+
+from repro.backends.spin.promela import PromelaCodegen, generate_promela
+
+__all__ = ["PromelaCodegen", "generate_promela"]

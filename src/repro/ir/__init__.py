@@ -1,0 +1,15 @@
+"""The ESP middle end: IR, lowering, and optimizations."""
+
+from repro.ir.lower import lower
+from repro.ir.nodes import IRProcess, IRProgram
+from repro.ir.pipeline import OptLevel, OptStats, compile_ir, optimize
+
+__all__ = [
+    "lower",
+    "optimize",
+    "compile_ir",
+    "IRProgram",
+    "IRProcess",
+    "OptLevel",
+    "OptStats",
+]

@@ -1,0 +1,161 @@
+"""Allocation-avoidance optimizations (§4.2, §6.1).
+
+Two transformations the paper calls out:
+
+* **Message-record fusion** — when a process sends ``out(c, {a, b})``
+  and *every* receive pattern on ``c`` destructures the record, the
+  record never needs to be allocated: components are transferred
+  directly.  Possible because the language is static: the compiler
+  sees all senders and all receive patterns of every channel.
+
+* **Cast elision** — ``cast(x)`` semantically allocates a deep copy,
+  but when the compiler can determine the source object is not used
+  afterwards it reuses the object and avoids the allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ast
+from repro.ir import nodes as ir
+from repro.ir.liveness import liveness
+
+
+@dataclass
+class AllocOptStats:
+    outs_fused: int = 0
+    casts_elided: int = 0
+
+
+def _channel_fully_destructured(program: ir.IRProgram, channel: str) -> bool:
+    """True when every port on ``channel`` matches with a record pattern
+    (so no receiver ever needs the record object itself)."""
+    info = program.channels.get(channel)
+    if info is None or info.external is not None:
+        # Host code sees whole messages; keep the record (§4.5).
+        return False
+    ports = program.ports.ports.get(channel, [])
+    if not ports:
+        return False
+    for port in ports:
+        for use in port.uses:
+            if not isinstance(use.pattern, ast.PRecord):
+                return False
+    return True
+
+
+def _all_sends_are_record_literals(program: ir.IRProgram, channel: str) -> bool:
+    """True when every send site on ``channel`` builds an immutable
+    record literal in place — then the channel can go all-fused, and
+    every transfer (hence every receive site in the generated C) has a
+    single component-wise form."""
+    found = False
+    for process in program.processes:
+        for instr in process.instrs:
+            if isinstance(instr, ir.Out) and instr.channel == channel:
+                found = True
+                if not (isinstance(instr.expr, ast.RecordLit) and not instr.expr.mutable):
+                    return False
+            elif isinstance(instr, ir.Alt):
+                for arm in instr.arms:
+                    if arm.kind == "out" and arm.channel == channel:
+                        found = True
+                        if not (
+                            isinstance(arm.expr, ast.RecordLit)
+                            and not arm.expr.mutable
+                        ):
+                            return False
+    return found
+
+
+def fuse_message_records(program: ir.IRProgram) -> int:
+    """Mark every ``Out`` (and alt out-arm) on fully-fusable channels.
+
+    Fusion is all-or-nothing per channel so each receive site has one
+    static message form — matching what the generated C code does.
+    """
+    fused = 0
+    fusable: dict[str, bool] = {}
+    for channel in program.channels:
+        fusable[channel] = _channel_fully_destructured(
+            program, channel
+        ) and _all_sends_are_record_literals(program, channel)
+    for process in program.processes:
+        for instr in process.instrs:
+            if isinstance(instr, ir.Out):
+                if fusable.get(instr.channel, False):
+                    instr.fused = True
+                    fused += 1
+            elif isinstance(instr, ir.Alt):
+                for arm in instr.arms:
+                    if arm.kind == "out" and fusable.get(arm.channel, False):
+                        arm.fused = True
+                        fused += 1
+    return fused
+
+
+def elide_casts(process: ir.IRProcess) -> int:
+    """Mark ``cast(x)`` nodes whose operand variable is dead afterwards."""
+    elided = 0
+    _, live_out = liveness(process)
+
+    def visit(e: ast.Expr | None, dead: set[str]) -> int:
+        if e is None:
+            return 0
+        count = 0
+        if isinstance(e, ast.Cast):
+            operand = e.operand
+            if isinstance(operand, ast.Var):
+                unique = getattr(operand, "unique_name", None)
+                if unique is not None and unique in dead:
+                    e.elide = True
+                    count += 1
+            count += visit(e.operand, dead)
+            return count
+        for child in _children(e):
+            count += visit(child, dead)
+        return count
+
+    for pc, instr in enumerate(process.instrs):
+        dead = set(process.locals) - live_out[pc]
+        if isinstance(instr, ir.Decl):
+            elided += visit(instr.expr, dead)
+        elif isinstance(instr, ir.Assign):
+            elided += visit(instr.expr, dead)
+        elif isinstance(instr, ir.Out):
+            elided += visit(instr.expr, dead)
+        elif isinstance(instr, ir.Match):
+            elided += visit(instr.expr, dead)
+    return elided
+
+
+def _children(e: ast.Expr) -> list[ast.Expr]:
+    if isinstance(e, ast.Unary):
+        return [e.operand]
+    if isinstance(e, ast.Binary):
+        return [e.left, e.right]
+    if isinstance(e, ast.Index):
+        return [e.base, e.index]
+    if isinstance(e, ast.FieldAccess):
+        return [e.base]
+    if isinstance(e, ast.RecordLit):
+        return list(e.items)
+    if isinstance(e, ast.UnionLit):
+        return [e.value]
+    if isinstance(e, ast.ArrayFill):
+        return [e.count, e.fill]
+    if isinstance(e, ast.ArrayLit):
+        return list(e.items)
+    if isinstance(e, ast.Cast):
+        return [e.operand]
+    return []
+
+
+def optimize_allocations(program: ir.IRProgram) -> AllocOptStats:
+    """Run both allocation optimizations over the whole program."""
+    stats = AllocOptStats()
+    stats.outs_fused = fuse_message_records(program)
+    for process in program.processes:
+        stats.casts_elided += elide_casts(process)
+    return stats

@@ -1,0 +1,79 @@
+"""Control-flow graph over the flat IR.
+
+Blocks are maximal straight-line instruction runs; blocking
+instructions (``In``/``Out``/``Alt``) stay inside blocks — they do not
+branch except ``Alt``, whose arms start new blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir import nodes as ir
+
+
+@dataclass
+class BasicBlock:
+    index: int
+    start: int  # first PC
+    end: int  # one past last PC
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    def pcs(self):
+        return range(self.start, self.end)
+
+
+@dataclass
+class CFG:
+    process: ir.IRProcess
+    blocks: list[BasicBlock]
+    block_of: dict[int, int]  # PC -> block index
+
+    def successors(self, pc: int) -> list[int]:
+        return self.process.instrs[pc].successors(pc)
+
+
+def build_cfg(process: ir.IRProcess) -> CFG:
+    """Compute basic blocks and the block graph for one process."""
+    instrs = process.instrs
+    n = len(instrs)
+    leaders = {0}
+    for pc, instr in enumerate(instrs):
+        succs = instr.successors(pc)
+        if isinstance(instr, (ir.Jump, ir.Branch, ir.Alt, ir.Halt)):
+            for s in succs:
+                leaders.add(s)
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+    ordered = sorted(x for x in leaders if x < n)
+    blocks: list[BasicBlock] = []
+    block_of: dict[int, int] = {}
+    for i, start in enumerate(ordered):
+        end = ordered[i + 1] if i + 1 < len(ordered) else n
+        block = BasicBlock(index=i, start=start, end=end)
+        blocks.append(block)
+        for pc in range(start, end):
+            block_of[pc] = i
+    for block in blocks:
+        last = block.end - 1
+        for succ_pc in instrs[last].successors(last):
+            if succ_pc < n:
+                succ_block = block_of[succ_pc]
+                if succ_block not in block.succs:
+                    block.succs.append(succ_block)
+                    blocks[succ_block].preds.append(block.index)
+    return CFG(process=process, blocks=blocks, block_of=block_of)
+
+
+def reachable_pcs(process: ir.IRProcess) -> set[int]:
+    """PCs reachable from entry; used by dead-code elimination."""
+    seen: set[int] = set()
+    stack = [0]
+    while stack:
+        pc = stack.pop()
+        if pc in seen or pc >= len(process.instrs):
+            continue
+        seen.add(pc)
+        stack.extend(process.instrs[pc].successors(pc))
+    return seen

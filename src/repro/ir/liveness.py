@@ -1,0 +1,141 @@
+"""Live-variable analysis over the IR.
+
+A classic backwards may-analysis at instruction granularity (ESP
+processes are small — a few hundred instructions — so per-instruction
+sets are cheap).  Used by dead-code elimination and by the
+allocation-avoidance pass (cast elision needs "operand dead after
+here", §4.2).
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.ir import nodes as ir
+
+
+def expr_uses(e: ast.Expr | None, acc: set[str]) -> None:
+    """Collect unique names of variables read by ``e``."""
+    if e is None:
+        return
+    if isinstance(e, ast.Var):
+        unique = getattr(e, "unique_name", None)
+        if unique is not None:
+            acc.add(unique)
+        return
+    if isinstance(e, ast.Unary):
+        expr_uses(e.operand, acc)
+    elif isinstance(e, ast.Binary):
+        expr_uses(e.left, acc)
+        expr_uses(e.right, acc)
+    elif isinstance(e, ast.Index):
+        expr_uses(e.base, acc)
+        expr_uses(e.index, acc)
+    elif isinstance(e, ast.FieldAccess):
+        expr_uses(e.base, acc)
+    elif isinstance(e, ast.RecordLit):
+        for item in e.items:
+            expr_uses(item, acc)
+    elif isinstance(e, ast.UnionLit):
+        expr_uses(e.value, acc)
+    elif isinstance(e, ast.ArrayFill):
+        expr_uses(e.count, acc)
+        expr_uses(e.fill, acc)
+    elif isinstance(e, ast.ArrayLit):
+        for item in e.items:
+            expr_uses(item, acc)
+    elif isinstance(e, ast.Cast):
+        expr_uses(e.operand, acc)
+
+
+def pattern_defs_uses(p: ast.Pattern | None, defs: set[str], uses: set[str]) -> None:
+    """Binders define; equality constraints and store-target addressing use."""
+    if p is None:
+        return
+    if isinstance(p, ast.PBind):
+        unique = getattr(p, "unique_name", None)
+        if unique is not None:
+            defs.add(unique)
+        return
+    if isinstance(p, ast.PEq):
+        if getattr(p, "is_store", False):
+            target = p.expr
+            if isinstance(target, ast.Var):
+                unique = getattr(target, "unique_name", None)
+                if unique is not None:
+                    defs.add(unique)
+            else:
+                # Storing through an index/field reads the base/index.
+                expr_uses(target, uses)
+        else:
+            expr_uses(p.expr, uses)
+        return
+    if isinstance(p, ast.PRecord):
+        for item in p.items:
+            pattern_defs_uses(item, defs, uses)
+        return
+    if isinstance(p, ast.PUnion):
+        pattern_defs_uses(p.value, defs, uses)
+
+
+def instr_defs_uses(instr: ir.Instr) -> tuple[set[str], set[str]]:
+    """(defs, uses) of one instruction."""
+    defs: set[str] = set()
+    uses: set[str] = set()
+    if isinstance(instr, ir.Decl):
+        defs.add(instr.var)
+        expr_uses(instr.expr, uses)
+    elif isinstance(instr, ir.Assign):
+        target = instr.target
+        if isinstance(target, ast.Var):
+            defs.add(getattr(target, "unique_name", target.name))
+        else:
+            expr_uses(target, uses)
+        expr_uses(instr.expr, uses)
+    elif isinstance(instr, ir.Match):
+        pattern_defs_uses(instr.pattern, defs, uses)
+        expr_uses(instr.expr, uses)
+    elif isinstance(instr, ir.In):
+        pattern_defs_uses(instr.pattern, defs, uses)
+    elif isinstance(instr, ir.Out):
+        expr_uses(instr.expr, uses)
+    elif isinstance(instr, ir.Alt):
+        for arm in instr.arms:
+            expr_uses(arm.guard, uses)
+            if arm.kind == "in":
+                pattern_defs_uses(arm.pattern, defs, uses)
+            else:
+                expr_uses(arm.expr, uses)
+    elif isinstance(instr, ir.Branch):
+        expr_uses(instr.cond, uses)
+    elif isinstance(instr, (ir.Link, ir.Unlink)):
+        expr_uses(instr.expr, uses)
+    elif isinstance(instr, ir.Assert):
+        expr_uses(instr.cond, uses)
+    elif isinstance(instr, ir.Print):
+        for arg in instr.args:
+            expr_uses(arg, uses)
+    return defs, uses
+
+
+def liveness(process: ir.IRProcess) -> tuple[list[set[str]], list[set[str]]]:
+    """Compute (live_in, live_out) per PC by backwards fixpoint."""
+    n = len(process.instrs)
+    live_in: list[set[str]] = [set() for _ in range(n)]
+    live_out: list[set[str]] = [set() for _ in range(n)]
+    du = [instr_defs_uses(instr) for instr in process.instrs]
+    changed = True
+    while changed:
+        changed = False
+        for pc in range(n - 1, -1, -1):
+            instr = process.instrs[pc]
+            out: set[str] = set()
+            for succ in instr.successors(pc):
+                if succ < n:
+                    out |= live_in[succ]
+            defs, uses = du[pc]
+            new_in = uses | (out - defs)
+            if out != live_out[pc] or new_in != live_in[pc]:
+                live_out[pc] = out
+                live_in[pc] = new_in
+                changed = True
+    return live_in, live_out

@@ -1,0 +1,181 @@
+"""AST → IR lowering.
+
+Structured control flow becomes jumps; ``alt`` cases become arm
+descriptors with body targets; each process gets its channel-bit
+assignment for the bitmask blocking scheme (§6.1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import LoweringError
+from repro.lang import ast
+from repro.lang.program import FrontendResult
+from repro.ir import nodes as ir
+
+
+class _ProcessLowerer:
+    """Lowers one process body to a flat instruction list."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.instrs: list[ir.Instr] = []
+        self._break_stack: list[list[int]] = []  # Jump PCs to patch per loop
+        self.channels_used: set[str] = set()
+
+    # -- emission helpers ---------------------------------------------------
+
+    def emit(self, instr: ir.Instr) -> int:
+        self.instrs.append(instr)
+        return len(self.instrs) - 1
+
+    def here(self) -> int:
+        return len(self.instrs)
+
+    # -- lowering -------------------------------------------------------------
+
+    def lower_block(self, block: ast.Block) -> None:
+        for stmt in block.stmts:
+            self.lower_stmt(stmt)
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            self.emit(ir.Decl(stmt.span, stmt.unique_name, stmt.init, stmt.resolved_type))
+            return
+        if isinstance(stmt, ast.AssignStmt):
+            self.emit(ir.Assign(stmt.span, stmt.target, stmt.value))
+            return
+        if isinstance(stmt, ast.MatchStmt):
+            self.emit(ir.Match(stmt.span, stmt.pattern, stmt.value))
+            return
+        if isinstance(stmt, ast.InStmt):
+            self.channels_used.add(stmt.channel)
+            self.emit(
+                ir.In(stmt.span, stmt.channel, stmt.pattern,
+                      getattr(stmt.pattern, "port_index", -1))
+            )
+            return
+        if isinstance(stmt, ast.OutStmt):
+            self.channels_used.add(stmt.channel)
+            self.emit(ir.Out(stmt.span, stmt.channel, stmt.value))
+            return
+        if isinstance(stmt, ast.AltStmt):
+            self.lower_alt(stmt)
+            return
+        if isinstance(stmt, ast.IfStmt):
+            self.lower_if(stmt)
+            return
+        if isinstance(stmt, ast.WhileStmt):
+            self.lower_while(stmt)
+            return
+        if isinstance(stmt, ast.BreakStmt):
+            pc = self.emit(ir.Jump(stmt.span))
+            if not self._break_stack:
+                raise LoweringError("break outside loop survived type checking", stmt.span)
+            self._break_stack[-1].append(pc)
+            return
+        if isinstance(stmt, ast.LinkStmt):
+            self.emit(ir.Link(stmt.span, stmt.value))
+            return
+        if isinstance(stmt, ast.UnlinkStmt):
+            self.emit(ir.Unlink(stmt.span, stmt.value))
+            return
+        if isinstance(stmt, ast.AssertStmt):
+            self.emit(ir.Assert(stmt.span, stmt.cond))
+            return
+        if isinstance(stmt, ast.SkipStmt):
+            self.emit(ir.Nop(stmt.span))
+            return
+        if isinstance(stmt, ast.PrintStmt):
+            self.emit(ir.Print(stmt.span, stmt.args))
+            return
+        raise LoweringError(f"unhandled statement {type(stmt).__name__}", stmt.span)
+
+    def lower_if(self, stmt: ast.IfStmt) -> None:
+        branch_pc = self.emit(ir.Branch(stmt.span, stmt.cond))
+        branch = self.instrs[branch_pc]
+        branch.true_target = self.here()
+        self.lower_block(stmt.then_block)
+        if stmt.else_block is None:
+            branch.false_target = self.here()
+            return
+        then_end = self.emit(ir.Jump(stmt.span))
+        branch.false_target = self.here()
+        self.lower_block(stmt.else_block)
+        self.instrs[then_end].target = self.here()
+
+    def lower_while(self, stmt: ast.WhileStmt) -> None:
+        head = self.here()
+        is_forever = isinstance(stmt.cond, ast.BoolLit) and stmt.cond.value
+        if is_forever:
+            branch = None
+        else:
+            branch_pc = self.emit(ir.Branch(stmt.span, stmt.cond))
+            branch = self.instrs[branch_pc]
+            branch.true_target = self.here()
+        self._break_stack.append([])
+        self.lower_block(stmt.body)
+        self.emit(ir.Jump(stmt.span, target=head))
+        exit_pc = self.here()
+        if branch is not None:
+            branch.false_target = exit_pc
+        for break_pc in self._break_stack.pop():
+            self.instrs[break_pc].target = exit_pc
+
+    def lower_alt(self, stmt: ast.AltStmt) -> None:
+        alt_pc = self.emit(ir.Alt(stmt.span))
+        alt = self.instrs[alt_pc]
+        join_jumps: list[int] = []
+        for case in stmt.cases:
+            op = case.op
+            if isinstance(op, ast.InStmt):
+                arm = ir.AltArm(
+                    kind="in",
+                    channel=op.channel,
+                    guard=case.guard,
+                    pattern=op.pattern,
+                    port_index=getattr(op.pattern, "port_index", -1),
+                )
+            elif isinstance(op, ast.OutStmt):
+                arm = ir.AltArm(
+                    kind="out", channel=op.channel, guard=case.guard, expr=op.value
+                )
+            else:
+                raise LoweringError("alt case op must be in/out", case.span)
+            self.channels_used.add(op.channel)
+            arm.body_target = self.here()
+            alt.arms.append(arm)
+            self.lower_block(case.body)
+            join_jumps.append(self.emit(ir.Jump(case.span)))
+        join = self.here()
+        for pc in join_jumps:
+            self.instrs[pc].target = join
+
+
+def lower(front: FrontendResult) -> ir.IRProgram:
+    """Lower a checked program to IR."""
+    processes = []
+    for info in front.checked.processes:
+        lowerer = _ProcessLowerer(info.name)
+        lowerer.lower_block(info.decl.body)
+        lowerer.emit(ir.Halt(info.decl.span))
+        channel_bits = {c: i for i, c in enumerate(sorted(lowerer.channels_used))}
+        processes.append(
+            ir.IRProcess(
+                name=info.name,
+                pid=info.pid,
+                instrs=lowerer.instrs,
+                locals=dict(info.locals),
+                channel_bits=channel_bits,
+            )
+        )
+    interfaces: dict[str, dict[str, object]] = {}
+    for decl in front.program.interfaces():
+        interfaces[decl.channel] = {e.name: e.pattern for e in decl.entries}
+    return ir.IRProgram(
+        processes=processes,
+        channels=front.checked.channels,
+        ports=front.patterns,
+        consts=front.checked.consts,
+        types=front.checked.types,
+        interfaces=interfaces,
+    )

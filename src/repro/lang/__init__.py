@@ -1,0 +1,15 @@
+"""The ESP language frontend: lexer, parser, type checker, pattern
+analysis, and whole-program assembly."""
+
+from repro.lang.parser import parse
+from repro.lang.program import FrontendResult, frontend, frontend_from_ast
+from repro.lang.typecheck import CheckedProgram, check
+
+__all__ = [
+    "parse",
+    "check",
+    "frontend",
+    "frontend_from_ast",
+    "FrontendResult",
+    "CheckedProgram",
+]

@@ -1,0 +1,423 @@
+"""Abstract syntax for ESP.
+
+The grammar follows every fragment in the paper (§4 and Appendix B):
+
+* declarations — ``type``, ``const``, ``channel``, ``external
+  interface``, ``process``;
+* statements — variable declaration (``$x: T = e;``), assignment,
+  pattern-match assignment, ``in``/``out``, ``alt``, ``if``/``else``,
+  ``while``, ``break``, ``link``/``unlink``, ``assert``, ``skip``,
+  ``print`` (a debug aid that the C backend maps to a no-op macro);
+* expressions — literals, variables, ``@`` (process id), unary/binary
+  operators, indexing, field selection, record/union/array allocation
+  (``#`` prefix for mutable), ``cast``;
+* patterns — binders (``$x``), record/union destructuring, and
+  equality constraints (any expression in a component position).
+
+Every node carries a source span for diagnostics.  After type
+checking, expressions and patterns carry their elaborated
+:class:`~repro.lang.types.Type` in ``.type`` (filled in place).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.lang.source import Span
+from repro.lang.types import Type
+
+
+@dataclass
+class Node:
+    """Base class: every AST node has a source span."""
+
+    span: Span
+
+
+# ---------------------------------------------------------------------------
+# Type expressions (syntax; resolved to semantic types by the checker)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TypeExpr(Node):
+    pass
+
+
+@dataclass
+class TInt(TypeExpr):
+    pass
+
+
+@dataclass
+class TBool(TypeExpr):
+    pass
+
+
+@dataclass
+class TName(TypeExpr):
+    name: str = ""
+
+
+@dataclass
+class TRecord(TypeExpr):
+    fields: list[tuple[str, TypeExpr]] = field(default_factory=list)
+
+
+@dataclass
+class TUnion(TypeExpr):
+    tags: list[tuple[str, TypeExpr]] = field(default_factory=list)
+
+
+@dataclass
+class TArray(TypeExpr):
+    element: Optional[TypeExpr] = None
+
+
+@dataclass
+class TMutable(TypeExpr):
+    """A ``#``-prefixed type expression: the outer constructor is mutable."""
+
+    inner: Optional[TypeExpr] = None
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    type: Optional[Type] = field(default=None, compare=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class ProcessId(Expr):
+    """``@`` — a per-process integer constant (the process id, §4.3)."""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Index(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class FieldAccess(Expr):
+    base: Optional[Expr] = None
+    field_name: str = ""
+
+
+@dataclass
+class RecordLit(Expr):
+    """``{ e1, e2, ... }`` — positional record allocation."""
+
+    items: list[Expr] = field(default_factory=list)
+    mutable: bool = False
+
+
+@dataclass
+class UnionLit(Expr):
+    """``{ tag |> e }`` — union allocation with exactly one valid tag."""
+
+    tag: str = ""
+    value: Optional[Expr] = None
+    mutable: bool = False
+
+
+@dataclass
+class ArrayFill(Expr):
+    """``{ n -> e }`` — array of ``n`` elements each initialised to ``e``."""
+
+    count: Optional[Expr] = None
+    fill: Optional[Expr] = None
+    mutable: bool = False
+
+
+@dataclass
+class ArrayLit(Expr):
+    """``[ e1, e2, ... ]`` — explicit-element array allocation."""
+
+    items: list[Expr] = field(default_factory=list)
+    mutable: bool = False
+
+
+@dataclass
+class Cast(Expr):
+    """``cast(e)`` — flips outer mutability; semantically a deep copy,
+    elided by the compiler when the source is dead afterwards (§4.2)."""
+
+    operand: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Pattern(Node):
+    type: Optional[Type] = field(default=None, compare=False)
+
+
+@dataclass
+class PBind(Pattern):
+    """``$x`` — bind component to a fresh variable."""
+
+    name: str = ""
+
+
+@dataclass
+class PEq(Pattern):
+    """An expression in component position — match iff equal (e.g. ``@``)."""
+
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class PRecord(Pattern):
+    """``{ p1, p2, ... }`` — positional record destructuring."""
+
+    items: list[Pattern] = field(default_factory=list)
+
+
+@dataclass
+class PUnion(Pattern):
+    """``{ tag |> p }`` — match a union with the given valid tag."""
+
+    tag: str = ""
+    value: Optional[Pattern] = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Node):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """``$x: T = e;`` or ``$x = e;`` (type inferred, §4.1)."""
+
+    name: str = ""
+    declared_type: Optional[TypeExpr] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class AssignStmt(Stmt):
+    """``lvalue = e;`` where lvalue is a variable / index / field chain."""
+
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class MatchStmt(Stmt):
+    """``pattern [: T] = e;`` — destructuring assignment (§4.2)."""
+
+    pattern: Optional[Pattern] = None
+    declared_type: Optional[TypeExpr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class InStmt(Stmt):
+    """``in(chan, pattern);`` — blocking receive with dispatch."""
+
+    channel: str = ""
+    pattern: Optional[Pattern] = None
+
+
+@dataclass
+class OutStmt(Stmt):
+    """``out(chan, e);`` — blocking synchronous send."""
+
+    channel: str = ""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class AltCase(Node):
+    """``case(guard, op) { body }`` — guard optional (§4.2)."""
+
+    guard: Optional[Expr] = None
+    op: Optional[Stmt] = None  # InStmt or OutStmt
+    body: Optional[Block] = None
+
+
+@dataclass
+class AltStmt(Stmt):
+    cases: list[AltCase] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Optional[Expr] = None
+    then_block: Optional[Block] = None
+    else_block: Optional[Block] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Block] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class LinkStmt(Stmt):
+    """``link(e);`` — increment reference count (§4.4)."""
+
+    value: Optional[Expr] = None
+
+
+@dataclass
+class UnlinkStmt(Stmt):
+    """``unlink(e);`` — decrement; frees and recursively unlinks at 0."""
+
+    value: Optional[Expr] = None
+
+
+@dataclass
+class AssertStmt(Stmt):
+    """``assert(e);`` — checked by the verifier and (optionally) at run time."""
+
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class SkipStmt(Stmt):
+    pass
+
+
+@dataclass
+class PrintStmt(Stmt):
+    """``print(e, ...);`` — debug output in simulation; no-op in firmware."""
+
+    args: list[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Decl(Node):
+    pass
+
+
+@dataclass
+class TypeDecl(Decl):
+    name: str = ""
+    definition: Optional[TypeExpr] = None
+
+
+@dataclass
+class ConstDecl(Decl):
+    """``const NAME = e;`` — a compile-time integer/bool constant.
+
+    The paper's fragments use C macros (``TABLE_SIZE``); ``const`` is
+    the ESP-level equivalent.
+    """
+
+    name: str = ""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ChannelDecl(Decl):
+    name: str = ""
+    message_type: Optional[TypeExpr] = None
+
+
+@dataclass
+class InterfaceEntry(Node):
+    """One named pattern of an external interface, e.g. ``Send({...})``."""
+
+    name: str = ""
+    pattern: Optional[Pattern] = None
+
+
+@dataclass
+class InterfaceDecl(Decl):
+    """``external interface Name(out chan) { Entry(pat), ... };``
+
+    ``out`` means external code *writes* the channel (program processes
+    read); ``in`` means external code *reads* it (§4.5).  A channel may
+    have an external reader or writer, never both.
+    """
+
+    name: str = ""
+    direction: str = "out"  # what the external side does: "out" | "in"
+    channel: str = ""
+    entries: list[InterfaceEntry] = field(default_factory=list)
+
+
+@dataclass
+class ProcessDecl(Decl):
+    name: str = ""
+    body: Optional[Block] = None
+
+
+@dataclass
+class Program(Node):
+    decls: list[Decl] = field(default_factory=list)
+
+    def processes(self) -> list[ProcessDecl]:
+        return [d for d in self.decls if isinstance(d, ProcessDecl)]
+
+    def channels(self) -> list[ChannelDecl]:
+        return [d for d in self.decls if isinstance(d, ChannelDecl)]
+
+    def interfaces(self) -> list[InterfaceDecl]:
+        return [d for d in self.decls if isinstance(d, InterfaceDecl)]
+
+    def type_decls(self) -> list[TypeDecl]:
+        return [d for d in self.decls if isinstance(d, TypeDecl)]
+
+    def const_decls(self) -> list[ConstDecl]:
+        return [d for d in self.decls if isinstance(d, ConstDecl)]

@@ -1,0 +1,190 @@
+"""Pretty-printing ESP ASTs back to concrete syntax.
+
+Useful for debugging transformed programs, emitting isolated-process
+sources (the verifier's per-process artifacts), and testing: the
+parser/printer pair round-trips (``parse(print(ast)) == ast`` up to
+spans), which the property suite checks.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+_INDENT = "    "
+
+# Mirror of the parser's precedence table: operator -> binding level.
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_UNARY_LEVEL = 11
+
+
+def print_program(program: ast.Program) -> str:
+    return "\n".join(print_decl(d) for d in program.decls) + "\n"
+
+
+def print_decl(decl: ast.Decl) -> str:
+    if isinstance(decl, ast.TypeDecl):
+        return f"type {decl.name} = {print_type(decl.definition)}"
+    if isinstance(decl, ast.ConstDecl):
+        return f"const {decl.name} = {print_expr(decl.value)};"
+    if isinstance(decl, ast.ChannelDecl):
+        return f"channel {decl.name}: {print_type(decl.message_type)}"
+    if isinstance(decl, ast.InterfaceDecl):
+        entries = ",\n".join(
+            f"{_INDENT}{e.name}({print_pattern(e.pattern)})" for e in decl.entries
+        )
+        return (
+            f"external interface {decl.name}({decl.direction} {decl.channel}) {{\n"
+            f"{entries}\n}};"
+        )
+    if isinstance(decl, ast.ProcessDecl):
+        return f"process {decl.name} {print_block(decl.body, 0)}"
+    raise TypeError(f"unhandled declaration {type(decl).__name__}")
+
+
+def print_type(t: ast.TypeExpr) -> str:
+    if isinstance(t, ast.TInt):
+        return "int"
+    if isinstance(t, ast.TBool):
+        return "bool"
+    if isinstance(t, ast.TName):
+        return t.name
+    if isinstance(t, ast.TRecord):
+        fields = ", ".join(f"{n}: {print_type(ft)}" for n, ft in t.fields)
+        return f"record of {{ {fields} }}"
+    if isinstance(t, ast.TUnion):
+        tags = ", ".join(f"{n}: {print_type(tt)}" for n, tt in t.tags)
+        return f"union of {{ {tags} }}"
+    if isinstance(t, ast.TArray):
+        return f"array of {print_type(t.element)}"
+    if isinstance(t, ast.TMutable):
+        return f"#{print_type(t.inner)}"
+    raise TypeError(f"unhandled type expression {type(t).__name__}")
+
+
+def print_block(block: ast.Block, depth: int) -> str:
+    inner = _INDENT * (depth + 1)
+    lines = [print_stmt(s, depth + 1) for s in block.stmts]
+    body = "\n".join(f"{inner}{line}" for line in lines)
+    close = _INDENT * depth + "}"
+    if not lines:
+        return "{ }"
+    return "{\n" + body + "\n" + close
+
+
+def print_stmt(stmt: ast.Stmt, depth: int) -> str:
+    if isinstance(stmt, ast.DeclStmt):
+        annotation = (
+            f": {print_type(stmt.declared_type)}" if stmt.declared_type else ""
+        )
+        return f"${stmt.name}{annotation} = {print_expr(stmt.init)};"
+    if isinstance(stmt, ast.AssignStmt):
+        return f"{print_expr(stmt.target)} = {print_expr(stmt.value)};"
+    if isinstance(stmt, ast.MatchStmt):
+        annotation = (
+            f": {print_type(stmt.declared_type)}" if stmt.declared_type else ""
+        )
+        return f"{print_pattern(stmt.pattern)}{annotation} = {print_expr(stmt.value)};"
+    if isinstance(stmt, ast.InStmt):
+        return f"in( {stmt.channel}, {print_pattern(stmt.pattern)});"
+    if isinstance(stmt, ast.OutStmt):
+        return f"out( {stmt.channel}, {print_expr(stmt.value)});"
+    if isinstance(stmt, ast.AltStmt):
+        inner = _INDENT * (depth + 1)
+        cases = []
+        for case in stmt.cases:
+            op = print_stmt(case.op, depth + 1).rstrip(";")
+            guard = f"{print_expr(case.guard)}, " if case.guard is not None else ""
+            cases.append(
+                f"{inner}case( {guard}{op.rstrip(';')}) "
+                f"{print_block(case.body, depth + 1)}"
+            )
+        close = _INDENT * depth + "}"
+        return "alt {\n" + "\n".join(cases) + "\n" + close
+    if isinstance(stmt, ast.IfStmt):
+        text = f"if ({print_expr(stmt.cond)}) {print_block(stmt.then_block, depth)}"
+        if stmt.else_block is not None:
+            text += f" else {print_block(stmt.else_block, depth)}"
+        return text
+    if isinstance(stmt, ast.WhileStmt):
+        return f"while ({print_expr(stmt.cond)}) {print_block(stmt.body, depth)}"
+    if isinstance(stmt, ast.BreakStmt):
+        return "break;"
+    if isinstance(stmt, ast.LinkStmt):
+        return f"link( {print_expr(stmt.value)});"
+    if isinstance(stmt, ast.UnlinkStmt):
+        return f"unlink( {print_expr(stmt.value)});"
+    if isinstance(stmt, ast.AssertStmt):
+        return f"assert( {print_expr(stmt.cond)});"
+    if isinstance(stmt, ast.SkipStmt):
+        return "skip;"
+    if isinstance(stmt, ast.PrintStmt):
+        args = ", ".join(print_expr(a) for a in stmt.args)
+        return f"print({args});"
+    raise TypeError(f"unhandled statement {type(stmt).__name__}")
+
+
+def print_expr(e: ast.Expr, parent_level: int = 0) -> str:
+    if isinstance(e, ast.IntLit):
+        return str(e.value)
+    if isinstance(e, ast.BoolLit):
+        return "true" if e.value else "false"
+    if isinstance(e, ast.Var):
+        return e.name
+    if isinstance(e, ast.ProcessId):
+        return "@"
+    if isinstance(e, ast.Unary):
+        text = f"{e.op}{print_expr(e.operand, _UNARY_LEVEL)}"
+        return _paren(text, _UNARY_LEVEL, parent_level)
+    if isinstance(e, ast.Binary):
+        level = _PRECEDENCE[e.op]
+        # Left-associative: the right child needs one more level.
+        text = (
+            f"{print_expr(e.left, level)} {e.op} {print_expr(e.right, level + 1)}"
+        )
+        return _paren(text, level, parent_level)
+    if isinstance(e, ast.Index):
+        return f"{print_expr(e.base, _UNARY_LEVEL)}[{print_expr(e.index)}]"
+    if isinstance(e, ast.FieldAccess):
+        return f"{print_expr(e.base, _UNARY_LEVEL)}.{e.field_name}"
+    if isinstance(e, ast.RecordLit):
+        inner = ", ".join(print_expr(i) for i in e.items)
+        return f"{'#' if e.mutable else ''}{{ {inner} }}"
+    if isinstance(e, ast.UnionLit):
+        return (
+            f"{'#' if e.mutable else ''}{{ {e.tag} |> {print_expr(e.value)} }}"
+        )
+    if isinstance(e, ast.ArrayFill):
+        return (
+            f"{'#' if e.mutable else ''}"
+            f"{{ {print_expr(e.count)} -> {print_expr(e.fill)} }}"
+        )
+    if isinstance(e, ast.ArrayLit):
+        inner = ", ".join(print_expr(i) for i in e.items)
+        return f"{'#' if e.mutable else ''}[{inner}]"
+    if isinstance(e, ast.Cast):
+        return f"cast({print_expr(e.operand)})"
+    raise TypeError(f"unhandled expression {type(e).__name__}")
+
+
+def print_pattern(p: ast.Pattern) -> str:
+    if isinstance(p, ast.PBind):
+        return f"${p.name}"
+    if isinstance(p, ast.PEq):
+        return print_expr(p.expr)
+    if isinstance(p, ast.PRecord):
+        inner = ", ".join(print_pattern(i) for i in p.items)
+        return f"{{ {inner} }}"
+    if isinstance(p, ast.PUnion):
+        return f"{{ {p.tag} |> {print_pattern(p.value)} }}"
+    raise TypeError(f"unhandled pattern {type(p).__name__}")
+
+
+def _paren(text: str, level: int, parent_level: int) -> str:
+    return f"({text})" if level < parent_level else text

@@ -1,0 +1,59 @@
+"""Whole-program assembly: parse → type check → pattern analysis.
+
+ESP is a whole-program language — all processes and channels are
+static and known at compile time (§4).  :func:`frontend` runs the full
+frontend and returns everything later stages need, plus non-fatal
+diagnostics (e.g. channels nobody sends on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramError
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.lang.patterns import PatternAnalysis, analyze
+from repro.lang.typecheck import CheckedProgram, check
+
+
+@dataclass
+class FrontendResult:
+    """Everything the middle end consumes."""
+
+    program: ast.Program
+    checked: CheckedProgram
+    patterns: PatternAnalysis
+    warnings: list[str] = field(default_factory=list)
+
+
+def frontend(text: str, filename: str = "<esp>") -> FrontendResult:
+    """Run the complete ESP frontend over source text."""
+    program = parse(text, filename)
+    return frontend_from_ast(program)
+
+
+def frontend_from_ast(program: ast.Program,
+                      require_exhaustive: bool = True) -> FrontendResult:
+    """Run the frontend when a parsed AST is already available."""
+    checked = check(program)
+    patterns = analyze(checked, require_exhaustive=require_exhaustive)
+    warnings = _lint(checked)
+    if not checked.processes:
+        raise ProgramError("program declares no processes", program.span)
+    return FrontendResult(program, checked, patterns, warnings)
+
+
+def _lint(checked: CheckedProgram) -> list[str]:
+    """Non-fatal whole-program diagnostics."""
+    warnings = []
+    for name, info in checked.channels.items():
+        readers = checked.in_uses[name]
+        writers = checked.out_uses[name]
+        if not readers and not writers:
+            warnings.append(f"channel '{name}' is never used")
+        elif not readers:
+            warnings.append(f"channel '{name}' is written but never read")
+        elif not writers:
+            warnings.append(f"channel '{name}' is read but never written")
+    return warnings

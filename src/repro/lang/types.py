@@ -1,0 +1,163 @@
+"""Semantic types for ESP.
+
+ESP has ``int`` and ``bool`` base types plus three aggregate
+constructors — ``record``, ``union``, and ``array`` — each in a mutable
+(``#``-prefixed) and an immutable flavor (paper §4.1).  There are no
+recursive types (they cannot be translated to SPIN) and no function
+types (ESP has no functions).
+
+Types here are *structural*: ``type`` declarations in source are
+aliases, resolved away during elaboration
+(:mod:`repro.lang.typecheck`).  All types are hashable, frozen values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Type:
+    """Base class for all ESP semantic types."""
+
+    mutable: bool = False
+
+    def is_aggregate(self) -> bool:
+        return isinstance(self, (RecordType, UnionType, ArrayType))
+
+    def deeply_immutable(self) -> bool:
+        """True when no part of a value of this type can be mutated.
+
+        Only deeply immutable objects may be sent over channels
+        (paper §4.2): the object in the ``out`` and everything it
+        recursively points to must be immutable.
+        """
+        if self.mutable:
+            return False
+        if isinstance(self, RecordType):
+            return all(t.deeply_immutable() for _, t in self.fields)
+        if isinstance(self, UnionType):
+            return all(t.deeply_immutable() for _, t in self.tags)
+        if isinstance(self, ArrayType):
+            return self.element.deeply_immutable()
+        return True
+
+    def with_mutability(self, mutable: bool) -> "Type":
+        """This type with its *outer* mutability flag replaced."""
+        if not self.is_aggregate() or self.mutable == mutable:
+            return self
+        if isinstance(self, RecordType):
+            return RecordType(self.fields, mutable)
+        if isinstance(self, UnionType):
+            return UnionType(self.tags, mutable)
+        assert isinstance(self, ArrayType)
+        return ArrayType(self.element, mutable)
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """The ESP ``int`` type."""
+
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class BoolType(Type):
+    """The ESP ``bool`` type."""
+
+    def __str__(self) -> str:
+        return "bool"
+
+
+INT = IntType()
+BOOL = BoolType()
+
+
+@dataclass(frozen=True)
+class RecordType(Type):
+    """``record of { name: T, ... }`` — a nominal-field, positional tuple."""
+
+    fields: tuple[tuple[str, Type], ...]
+    mutable: bool = False
+
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+    def field_type(self, name: str) -> Type | None:
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        return None
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{n}: {t}" for n, t in self.fields)
+        prefix = "#" if self.mutable else ""
+        return f"{prefix}record of {{ {inner} }}"
+
+
+@dataclass(frozen=True)
+class UnionType(Type):
+    """``union of { tag: T, ... }`` — exactly one tag is valid at a time."""
+
+    tags: tuple[tuple[str, Type], ...]
+    mutable: bool = False
+
+    def tag_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.tags)
+
+    def tag_type(self, name: str) -> Type | None:
+        for tname, ttype in self.tags:
+            if tname == name:
+                return ttype
+        return None
+
+    def tag_index(self, name: str) -> int:
+        for i, (tname, _) in enumerate(self.tags):
+            if tname == name:
+                return i
+        raise KeyError(name)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{n}: {t}" for n, t in self.tags)
+        prefix = "#" if self.mutable else ""
+        return f"{prefix}union of {{ {inner} }}"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """``array of T`` — size fixed at allocation, not part of the type."""
+
+    element: Type
+    mutable: bool = False
+
+    def __str__(self) -> str:
+        prefix = "#" if self.mutable else ""
+        return f"{prefix}array of {self.element}"
+
+
+@dataclass(frozen=True)
+class ChannelInfo:
+    """Resolved information about a declared channel."""
+
+    name: str
+    message_type: Type
+    # None for internal channels; "writer" when external C/SPIN code
+    # writes (program processes read); "reader" when external code reads.
+    external: str | None = None
+    # Interface entry names, for external channels with a declared interface.
+    interface_name: str | None = None
+    pattern_names: tuple[str, ...] = field(default=())
+
+
+def type_size_slots(t: Type, array_bound: int = 8) -> int:
+    """A rough 'state slots' measure of a type, used by the verifier to
+    bound state vectors and by the Promela backend to size arrays."""
+    if isinstance(t, (IntType, BoolType)):
+        return 1
+    if isinstance(t, RecordType):
+        return sum(type_size_slots(ft, array_bound) for _, ft in t.fields)
+    if isinstance(t, UnionType):
+        return 1 + max(type_size_slots(tt, array_bound) for _, tt in t.tags)
+    if isinstance(t, ArrayType):
+        return array_bound * type_size_slots(t.element, array_bound)
+    raise TypeError(f"unknown type {t!r}")

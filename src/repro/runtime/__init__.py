@@ -1,0 +1,38 @@
+"""The ESP runtime: heap, interpreter, channels, scheduler, externals."""
+
+from repro.runtime.external import (
+    CallbackReader,
+    CallbackWriter,
+    CollectorReader,
+    ExternalReader,
+    ExternalWriter,
+    QueueWriter,
+)
+from repro.runtime.heap import Heap
+from repro.runtime.machine import (
+    ExternalAccept,
+    ExternalDeliver,
+    Machine,
+    Rendezvous,
+)
+from repro.runtime.scheduler import RunResult, Scheduler, run_program
+from repro.runtime.values import HeapObject, Ref
+
+__all__ = [
+    "Machine",
+    "Scheduler",
+    "RunResult",
+    "run_program",
+    "Heap",
+    "HeapObject",
+    "Ref",
+    "Rendezvous",
+    "ExternalDeliver",
+    "ExternalAccept",
+    "ExternalWriter",
+    "ExternalReader",
+    "QueueWriter",
+    "CollectorReader",
+    "CallbackReader",
+    "CallbackWriter",
+]

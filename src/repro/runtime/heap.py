@@ -1,0 +1,165 @@
+"""The ESP heap: explicit reference counting with safety checking.
+
+Implements the paper's memory-management scheme (§4.4):
+
+* allocation sets the reference count to 1;
+* ``link`` increments, ``unlink`` decrements; at zero the object is
+  freed and ``unlink`` recurses into the objects it points to;
+* embedding an object into a new aggregate links it (the aggregate
+  now references it), and overwriting a mutable slot unlinks the old
+  occupant, so the count always equals the number of references;
+* every access checks liveness — use-after-free, double-free, and
+  negative counts raise :class:`MemorySafetyError`;
+* an optional bounded objectId table mirrors the SPIN translation
+  (§5.2): running out of ids flags a leak, which is how the verifier
+  catches memory leaks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemorySafetyError
+from repro.runtime.values import HeapObject, Ref, Value
+
+
+class HeapCounters:
+    """Operation counts, consumed by the device simulator's cost model."""
+
+    __slots__ = ("allocations", "frees", "links", "unlinks")
+
+    def __init__(self):
+        self.allocations = 0
+        self.frees = 0
+        self.links = 0
+        self.unlinks = 0
+
+    def snapshot(self) -> tuple[int, int, int, int]:
+        return (self.allocations, self.frees, self.links, self.unlinks)
+
+
+class Heap:
+    """All heap objects of one machine."""
+
+    def __init__(self, max_objects: int | None = None):
+        self.objects: dict[int, HeapObject] = {}
+        self.next_oid = 1
+        self.max_objects = max_objects
+        self.counters = HeapCounters()
+
+    # -- allocation ------------------------------------------------------------
+
+    def _new_oid(self) -> int:
+        if self.max_objects is not None and self.live_count() >= self.max_objects:
+            raise MemorySafetyError(
+                f"object table exhausted ({self.max_objects} objects live); "
+                "this usually indicates a memory leak"
+            )
+        oid = self.next_oid
+        self.next_oid += 1
+        return oid
+
+    def alloc(self, kind: str, data: list, mutable: bool,
+              tag: str | None = None, owner: int | None = None) -> Ref:
+        """Allocate a new object with refcount 1.  ``data`` children must
+        already carry their embedding reference (the evaluator manages
+        fresh-vs-borrowed accounting)."""
+        oid = self._new_oid()
+        self.objects[oid] = HeapObject(oid, kind, data, mutable, tag, owner)
+        self.counters.allocations += 1
+        return Ref(oid)
+
+    # -- access -----------------------------------------------------------------
+
+    def get(self, ref: Ref) -> HeapObject:
+        """Fetch a live object; a freed or unknown object is a safety error."""
+        obj = self.objects.get(ref.oid)
+        if obj is None:
+            if self.was_freed(ref.oid):
+                raise MemorySafetyError(f"use after free of object {ref.oid}")
+            raise MemorySafetyError(f"access to unknown object {ref.oid}")
+        if not obj.live:
+            raise MemorySafetyError(f"use after free of object {ref.oid}")
+        return obj
+
+    def live_count(self) -> int:
+        return sum(1 for obj in self.objects.values() if obj.live)
+
+    def live_objects(self) -> list[HeapObject]:
+        return [obj for obj in self.objects.values() if obj.live]
+
+    # -- reference counting -------------------------------------------------------
+
+    def link(self, ref: Ref) -> None:
+        obj = self.get(ref)
+        obj.refcount += 1
+        self.counters.links += 1
+
+    def unlink(self, ref: Ref) -> None:
+        obj = self.objects.get(ref.oid)
+        if obj is None or not obj.live:
+            raise MemorySafetyError(
+                f"unlink of {'unknown' if obj is None else 'already freed'} "
+                f"object {ref.oid} (double free)"
+            )
+        self.counters.unlinks += 1
+        obj.refcount -= 1
+        if obj.refcount < 0:
+            raise MemorySafetyError(f"negative reference count on object {ref.oid}")
+        if obj.refcount == 0:
+            self._free(obj)
+
+    def _free(self, obj: HeapObject) -> None:
+        obj.live = False
+        self.counters.frees += 1
+        for child in obj.children():
+            self.unlink(child)
+        # The slot is reclaimed: drop the payload so leaks are visible as
+        # live objects, matching the bounded objectId table of §5.2.
+        self.objects.pop(obj.oid, None)
+        self._retired = getattr(self, "_retired", set())
+        self._retired.add(obj.oid)
+
+    # -- deep operations ------------------------------------------------------------
+
+    def deep_copy(self, ref: Ref, mutable: bool | None = None,
+                  owner: int | None = None) -> Ref:
+        """Allocate a recursive copy (the semantics of ``cast`` and of
+        cross-heap message delivery in copy mode)."""
+        obj = self.get(ref)
+        new_mutable = obj.mutable if mutable is None else mutable
+        data = []
+        for v in obj.data:
+            if isinstance(v, Ref):
+                data.append(self.deep_copy(v, mutable, owner))
+            else:
+                data.append(v)
+        return self.alloc(obj.kind, data, new_mutable, obj.tag, owner)
+
+    def set_mutability_deep(self, ref: Ref, mutable: bool) -> None:
+        """Flip flavor in place (elided cast); caller checked uniqueness."""
+        obj = self.get(ref)
+        obj.mutable = mutable
+        for child in obj.children():
+            self.set_mutability_deep(child, mutable)
+
+    def exclusively_owned(self, ref: Ref) -> bool:
+        """True when the object and all descendants have refcount 1, so
+        an elided cast may mutate flavor in place."""
+        obj = self.get(ref)
+        if obj.refcount != 1:
+            return False
+        return all(self.exclusively_owned(c) for c in obj.children())
+
+    def to_python(self, value: Value):
+        """Convert a value to plain Python data (for the external C
+        interface bridge and for debugging/printing)."""
+        if not isinstance(value, Ref):
+            return value
+        obj = self.get(value)
+        if obj.kind == "record":
+            return tuple(self.to_python(v) for v in obj.data)
+        if obj.kind == "union":
+            return (obj.tag, self.to_python(obj.data[0]))
+        return [self.to_python(v) for v in obj.data]
+
+    def was_freed(self, oid: int) -> bool:
+        return oid in getattr(self, "_retired", set())

@@ -1,0 +1,742 @@
+"""The ESP machine: program + heap + processes + external bridges.
+
+A :class:`Machine` holds everything needed to execute an ESP program
+and exposes the rendezvous mechanics as *moves*:
+
+* :meth:`enabled_moves` enumerates every currently possible
+  synchronisation (internal rendezvous, external delivery, external
+  accept) — this is the machine's entire nondeterminism, since
+  processes are deterministic between blocking points;
+* :meth:`apply` performs one move;
+* :meth:`run_ready` runs all runnable processes to their next block.
+
+The execution scheduler (:mod:`repro.runtime.scheduler`) picks moves
+with a policy; the verifier (:mod:`repro.verify`) branches over all of
+them, using :meth:`snapshot`/:meth:`restore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ESPRuntimeError
+from repro.lang import ast
+from repro.lang.patterns import Eq, EqUnknown, Rec, Shape, Uni, Wild
+from repro.lang.types import ArrayType, RecordType, Type, UnionType
+from repro.ir import nodes as ir
+from repro.runtime.external import ExternalReader, ExternalWriter
+from repro.runtime.heap import Heap
+from repro.runtime.interp import (
+    BlockInfo,
+    Evaluator,
+    InterpCounters,
+    ProcessState,
+    Status,
+    match_local,
+    run_until_block,
+    try_match,
+    try_match_components,
+)
+from repro.runtime.values import HeapObject, Ref, Value
+
+
+# ---------------------------------------------------------------------------
+# Moves
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Rendezvous:
+    """An internal channel synchronisation between two processes.
+
+    Arm indexes are None for plain in/out, or the alt-arm index."""
+
+    channel: str
+    sender_pid: int
+    sender_arm: int | None
+    receiver_pid: int
+    receiver_arm: int | None
+
+    def describe(self, machine: "Machine") -> str:
+        s = machine.processes[self.sender_pid].proc.name
+        r = machine.processes[self.receiver_pid].proc.name
+        return f"{s} -> {r} on {self.channel}"
+
+
+@dataclass(frozen=True)
+class ExternalDeliver:
+    """The external writer of ``channel`` sends one message into ESP."""
+
+    channel: str
+    entry_name: str
+    args: tuple
+    receiver_pid: int
+    receiver_arm: int | None
+
+    def describe(self, machine: "Machine") -> str:
+        r = machine.processes[self.receiver_pid].proc.name
+        return f"external {self.entry_name}{self.args} -> {r} on {self.channel}"
+
+
+@dataclass(frozen=True)
+class ExternalAccept:
+    """The external reader of ``channel`` accepts one ESP message."""
+
+    channel: str
+    sender_pid: int
+    sender_arm: int | None
+
+    def describe(self, machine: "Machine") -> str:
+        s = machine.processes[self.sender_pid].proc.name
+        return f"{s} -> external on {self.channel}"
+
+
+Move = Rendezvous | ExternalDeliver | ExternalAccept
+
+
+# ---------------------------------------------------------------------------
+# The machine
+# ---------------------------------------------------------------------------
+
+
+class Machine:
+    """One instantiated ESP program (see module docstring)."""
+
+    def __init__(
+        self,
+        program: ir.IRProgram,
+        externals: dict[str, ExternalWriter | ExternalReader] | None = None,
+        max_objects: int | None = None,
+        print_handler=None,
+    ):
+        self.program = program
+        self.externals = dict(externals or {})
+        self.max_objects = max_objects
+        self.print_handler = print_handler
+        self._externals_validated = False
+        self.reset()
+
+    def _validate_externals(self) -> None:
+        """Check every external channel has a matching bridge.  Runs
+        lazily at first execution so that couplers (e.g.
+        :class:`repro.verify.coupled.CoupledSystem`) can install link
+        endpoints after construction."""
+        if self._externals_validated:
+            return
+        self._externals_validated = True
+        for channel, info in self.program.channels.items():
+            bridge = self.externals.get(channel)
+            if info.external == "writer" and not isinstance(bridge, ExternalWriter):
+                raise ESPRuntimeError(
+                    f"channel '{channel}' needs an ExternalWriter bridge"
+                )
+            if info.external == "reader" and not isinstance(bridge, ExternalReader):
+                raise ESPRuntimeError(
+                    f"channel '{channel}' needs an ExternalReader bridge"
+                )
+
+    def reset(self) -> None:
+        self.heap = Heap(max_objects=self.max_objects)
+        self.evaluator = Evaluator(self.heap, self.program.consts)
+        self.counters = InterpCounters()
+        self.processes = [ProcessState(p) for p in self.program.processes]
+        self._env_ps = ProcessState(
+            ir.IRProcess(name="<external>", pid=-1)
+        )
+        self.prints: list[tuple[str, list]] = []
+
+    # -- printing ---------------------------------------------------------------
+
+    def on_print(self, ps: ProcessState, values: list) -> None:
+        self.prints.append((ps.proc.name, values))
+        if self.print_handler is not None:
+            self.print_handler(ps.proc.name, values)
+
+    # -- running ------------------------------------------------------------------
+
+    def run_ready(self) -> int:
+        """Run every READY process to its next block; returns how many ran."""
+        self._validate_externals()
+        ran = 0
+        for ps in self.processes:
+            if ps.status is Status.READY:
+                self.counters.context_switches += 1
+                run_until_block(self, ps)
+                if ps.status is Status.BLOCKED and ps.block.kind == "out":
+                    self._check_out_matchable(ps)
+                ran += 1
+        return ran
+
+    def _check_out_matchable(self, ps: ProcessState) -> None:
+        """Dynamic exhaustiveness (§4.2): a message must match exactly
+        one pattern; flag eagerly when it can match none."""
+        block = ps.block
+        ports = self.program.ports.ports.get(block.channel, [])
+        if not ports:
+            return
+        for port in ports:
+            verdict = self._value_vs_shape(port.shape, block)
+            if verdict is not False:
+                return
+        raise ESPRuntimeError(
+            f"message sent by '{ps.proc.name}' on channel '{block.channel}' "
+            "matches no receive pattern",
+        )
+
+    def _value_vs_shape(self, shape: Shape, block: BlockInfo) -> bool | None:
+        if block.fused:
+            if not isinstance(shape, Rec) or len(shape.items) != len(block.values):
+                return False
+            verdicts = [
+                _shape_match(self.heap, item, v)
+                for item, v in zip(shape.items, block.values)
+            ]
+        else:
+            verdicts = [_shape_match(self.heap, shape, block.values[0])]
+        if any(v is False for v in verdicts):
+            return False
+        if all(v is True for v in verdicts):
+            return True
+        return None
+
+    # -- move enumeration ------------------------------------------------------------
+
+    def enabled_moves(self) -> list[Move]:
+        """Every synchronisation currently possible (the machine's full
+        nondeterminism)."""
+        moves: list[Move] = []
+        senders = self._out_slots()
+        receivers = self._in_slots()
+        for channel, sends in senders.items():
+            info = self.program.channels.get(channel)
+            if info is not None and info.external == "reader":
+                bridge = self.externals[channel]
+                if bridge.can_accept():
+                    for pid, arm in sends:
+                        moves.append(ExternalAccept(channel, pid, arm))
+                continue
+            for s_pid, s_arm in sends:
+                for r_pid, r_arm in receivers.get(channel, []):
+                    if r_pid == s_pid:
+                        continue
+                    if self._pair_matches(s_pid, s_arm, r_pid, r_arm, channel):
+                        moves.append(
+                            Rendezvous(channel, s_pid, s_arm, r_pid, r_arm)
+                        )
+        for channel, recvs in receivers.items():
+            info = self.program.channels.get(channel)
+            if info is None or info.external != "writer":
+                continue
+            bridge = self.externals[channel]
+            for entry_name, args in bridge.offers():
+                pattern = self.program.interfaces[channel][entry_name]
+                for r_pid, r_arm in recvs:
+                    if self._entry_reaches(pattern, tuple(args or ()), r_pid, r_arm):
+                        moves.append(
+                            ExternalDeliver(channel, entry_name,
+                                            tuple(args or ()), r_pid, r_arm)
+                        )
+        return moves
+
+    def _out_slots(self) -> dict[str, list[tuple[int, int | None]]]:
+        slots: dict[str, list[tuple[int, int | None]]] = {}
+        for ps in self.processes:
+            if ps.status is not Status.BLOCKED:
+                continue
+            block = ps.block
+            if block.kind == "out":
+                slots.setdefault(block.channel, []).append((ps.pid, None))
+            elif block.kind == "alt":
+                for enabled in block.arms:
+                    if enabled.arm.kind == "out":
+                        slots.setdefault(enabled.arm.channel, []).append(
+                            (ps.pid, enabled.index)
+                        )
+        return slots
+
+    def _in_slots(self) -> dict[str, list[tuple[int, int | None]]]:
+        slots: dict[str, list[tuple[int, int | None]]] = {}
+        for ps in self.processes:
+            if ps.status is not Status.BLOCKED:
+                continue
+            block = ps.block
+            if block.kind == "in":
+                slots.setdefault(block.channel, []).append((ps.pid, None))
+            elif block.kind == "alt":
+                for enabled in block.arms:
+                    if enabled.arm.kind == "in":
+                        slots.setdefault(enabled.arm.channel, []).append(
+                            (ps.pid, enabled.index)
+                        )
+        return slots
+
+    def _sender_payload(self, s_pid: int, s_arm: int | None):
+        """(values, fresh, fused) for a blocked sender, or None when the
+        payload is not evaluated yet (alt out-arm: postponed, §6.1)."""
+        ps = self.processes[s_pid]
+        if s_arm is None:
+            block = ps.block
+            return block.values, block.fresh, block.fused
+        return None
+
+    def _receiver_pattern(self, r_pid: int, r_arm: int | None) -> ast.Pattern:
+        ps = self.processes[r_pid]
+        if r_arm is None:
+            return ps.block.pattern
+        instr = ps.proc.instrs[ps.pc]
+        return instr.arms[r_arm].pattern
+
+    def _pair_matches(self, s_pid, s_arm, r_pid, r_arm, channel) -> bool:
+        payload = self._sender_payload(s_pid, s_arm)
+        if payload is None:
+            # Postponed alt-out payload: pair on channel availability.
+            return True
+        values, _fresh, fused = payload
+        pattern = self._receiver_pattern(r_pid, r_arm)
+        receiver = self.processes[r_pid]
+        self.counters.matches += 1
+        if fused:
+            return try_match_components(self.evaluator, receiver, pattern, values)
+        return try_match(self.evaluator, receiver, pattern, values[0])
+
+    def _entry_reaches(self, pattern: ast.Pattern, args: tuple, r_pid: int,
+                       r_arm: int | None) -> bool:
+        """Value-level test: would the message built from this interface
+        entry with these args match this receiver's waiting pattern?
+        Walks both patterns together, so no message is allocated."""
+        receiver_pattern = self._receiver_pattern(r_pid, r_arm)
+        receiver = self.processes[r_pid]
+        return self._entry_vs_pattern(pattern, iter(args), receiver_pattern, receiver)
+
+    def _entry_vs_pattern(self, entry: ast.Pattern, args_iter,
+                          receiver_pattern: ast.Pattern,
+                          receiver: ProcessState) -> bool:
+        if isinstance(entry, ast.PBind):
+            try:
+                raw = next(args_iter)
+            except StopIteration:
+                return False
+            return self._python_vs_pattern(raw, entry.type, receiver_pattern, receiver)
+        if isinstance(entry, ast.PEq):
+            value, _ = self.evaluator.eval(entry.expr, self._env_ps)
+            return self._scalar_vs_pattern(value, receiver_pattern, receiver)
+        if isinstance(entry, ast.PRecord):
+            if isinstance(receiver_pattern, (ast.PBind,)):
+                # Whole-message bind: consume args to keep the iterator
+                # aligned, always matches.
+                for item in entry.items:
+                    if not self._entry_vs_pattern(
+                        item, args_iter, ast.PBind(item.span, name="_"), receiver
+                    ):
+                        return False
+                return True
+            if getattr(receiver_pattern, "is_store", False):
+                return True
+            if not isinstance(receiver_pattern, ast.PRecord):
+                return False
+            if len(entry.items) != len(receiver_pattern.items):
+                return False
+            return all(
+                self._entry_vs_pattern(e, args_iter, r, receiver)
+                for e, r in zip(entry.items, receiver_pattern.items)
+            )
+        if isinstance(entry, ast.PUnion):
+            if isinstance(receiver_pattern, ast.PBind) or getattr(
+                receiver_pattern, "is_store", False
+            ):
+                return True
+            if not isinstance(receiver_pattern, ast.PUnion):
+                return False
+            if entry.tag != receiver_pattern.tag:
+                return False
+            return self._entry_vs_pattern(
+                entry.value, args_iter, receiver_pattern.value, receiver
+            )
+        return True
+
+    def _python_vs_pattern(self, raw, t: Type, receiver_pattern: ast.Pattern,
+                           receiver: ProcessState) -> bool:
+        """Match plain Python data (a binder argument) against the
+        receiver's pattern without allocating."""
+        if isinstance(receiver_pattern, ast.PBind) or getattr(
+            receiver_pattern, "is_store", False
+        ):
+            return True
+        if isinstance(receiver_pattern, ast.PEq):
+            expected, _ = self.evaluator.eval(receiver_pattern.expr, receiver)
+            return expected == raw
+        if isinstance(receiver_pattern, ast.PRecord):
+            if not isinstance(t, RecordType) or len(raw) != len(receiver_pattern.items):
+                return False
+            return all(
+                self._python_vs_pattern(item, ft, rp, receiver)
+                for item, (_, ft), rp in zip(raw, t.fields, receiver_pattern.items)
+            )
+        if isinstance(receiver_pattern, ast.PUnion):
+            if not isinstance(t, UnionType):
+                return False
+            tag, inner = raw
+            if tag != receiver_pattern.tag:
+                return False
+            return self._python_vs_pattern(
+                inner, t.tag_type(tag), receiver_pattern.value, receiver
+            )
+        return False
+
+    def _scalar_vs_pattern(self, value, receiver_pattern: ast.Pattern,
+                           receiver: ProcessState) -> bool:
+        if isinstance(receiver_pattern, ast.PBind) or getattr(
+            receiver_pattern, "is_store", False
+        ):
+            return True
+        if isinstance(receiver_pattern, ast.PEq):
+            expected, _ = self.evaluator.eval(receiver_pattern.expr, receiver)
+            return expected == value
+        return False
+
+    # -- applying moves ------------------------------------------------------------
+
+    def apply(self, move: Move) -> None:
+        if isinstance(move, Rendezvous):
+            self._apply_rendezvous(move)
+        elif isinstance(move, ExternalDeliver):
+            self._apply_external_deliver(move)
+        elif isinstance(move, ExternalAccept):
+            self._apply_external_accept(move)
+        else:
+            raise ESPRuntimeError(f"unknown move {move!r}")
+        self.counters.transfers += 1
+
+    def _apply_rendezvous(self, move: Rendezvous) -> None:
+        sender = self.processes[move.sender_pid]
+        receiver = self.processes[move.receiver_pid]
+        values, fresh, fused = self._take_sender_payload(sender, move.sender_arm)
+        pattern = self._receiver_pattern(move.receiver_pid, move.receiver_arm)
+        ok = (
+            try_match_components(self.evaluator, receiver, pattern, values)
+            if fused
+            else try_match(self.evaluator, receiver, pattern, values[0])
+        )
+        if not ok:
+            raise ESPRuntimeError(
+                f"message from '{sender.proc.name}' does not match the waiting "
+                f"pattern of '{receiver.proc.name}' on '{move.channel}'"
+            )
+        self._deliver(receiver, pattern, values, fresh, fused)
+        self._resume_sender(sender, move.sender_arm)
+        self._resume_receiver(receiver, move.receiver_arm)
+
+    def _take_sender_payload(self, sender: ProcessState, s_arm: int | None):
+        if s_arm is None:
+            block = sender.block
+            return block.values, block.fresh, block.fused
+        # Postponed evaluation of an alt out-arm (§6.1).
+        instr = sender.proc.instrs[sender.pc]
+        arm = instr.arms[s_arm]
+        if arm.fused:
+            values, fresh = [], []
+            for item in arm.expr.items:
+                v, f = self.evaluator.eval(item, sender)
+                values.append(v)
+                fresh.append(f)
+            return values, fresh, True
+        v, f = self.evaluator.eval(arm.expr, sender)
+        return [v], [f], False
+
+    def _deliver(self, receiver: ProcessState, pattern: ast.Pattern,
+                 values: list[Value], fresh: list[bool], fused: bool) -> None:
+        heap = self.heap
+        if not fused:
+            value, f = values[0], fresh[0]
+            if isinstance(value, Ref):
+                if not f:
+                    heap.link(value)  # the pointer-send "copy" (§6.1)
+                match_local(self.evaluator, receiver, pattern, value,
+                            link_binders=True)
+                heap.unlink(value)
+            else:
+                match_local(self.evaluator, receiver, pattern, value,
+                            link_binders=False)
+            return
+        assert isinstance(pattern, ast.PRecord)
+        for item, value, f in zip(pattern.items, values, fresh):
+            self._deliver_component(receiver, item, value, f)
+
+    def _deliver_component(self, receiver: ProcessState, item: ast.Pattern,
+                           value: Value, fresh: bool) -> None:
+        heap = self.heap
+        if isinstance(item, ast.PBind):
+            if isinstance(value, Ref) and not fresh:
+                heap.link(value)
+            receiver.locals[item.unique_name] = value
+            return
+        if isinstance(item, ast.PEq):
+            if getattr(item, "is_store", False):
+                from repro.runtime.interp import store_into
+
+                store_into(self.evaluator, receiver, item.expr, value, fresh=fresh)
+                return
+            expected, _ = self.evaluator.eval(item.expr, receiver)
+            if expected != value:
+                raise ESPRuntimeError("fused delivery equality mismatch", item.span)
+            return
+        # Nested destructure of an aggregate component.
+        match_local(self.evaluator, receiver, item, value, link_binders=True)
+        if fresh and isinstance(value, Ref):
+            heap.unlink(value)
+
+    def _resume_sender(self, sender: ProcessState, s_arm: int | None) -> None:
+        if s_arm is None:
+            sender.pc += 1
+        else:
+            instr = sender.proc.instrs[sender.pc]
+            sender.pc = instr.arms[s_arm].body_target
+        sender.status = Status.READY
+        sender.block = None
+        sender.wait_mask = 0
+
+    def _resume_receiver(self, receiver: ProcessState, r_arm: int | None) -> None:
+        self._resume_sender(receiver, r_arm)  # identical mechanics
+
+    # -- external moves -----------------------------------------------------------
+
+    def _apply_external_deliver(self, move: ExternalDeliver) -> None:
+        bridge: ExternalWriter = self.externals[move.channel]
+        taken = bridge.take(move.entry_name)
+        args = move.args if move.args else tuple(taken or ())
+        pattern = self.program.interfaces[move.channel][move.entry_name]
+        args_iter = iter(args)
+        value = self._build_from_pattern(pattern, args_iter)
+        receiver = self.processes[move.receiver_pid]
+        receiver_pattern = self._receiver_pattern(move.receiver_pid, move.receiver_arm)
+        if not try_match(self.evaluator, receiver, receiver_pattern, value):
+            # Values turned out not to match (e.g. an Eq constraint):
+            # reclaim and report — disjointness made this a program error.
+            if isinstance(value, Ref):
+                self.heap.unlink(value)
+            raise ESPRuntimeError(
+                f"external message '{move.entry_name}' does not match the "
+                f"waiting pattern on '{move.channel}'"
+            )
+        self._deliver(receiver, receiver_pattern, [value], [True], fused=False)
+        self._resume_receiver(receiver, move.receiver_arm)
+
+    def _apply_external_accept(self, move: ExternalAccept) -> None:
+        bridge: ExternalReader = self.externals[move.channel]
+        sender = self.processes[move.sender_pid]
+        values, fresh, fused = self._take_sender_payload(sender, move.sender_arm)
+        entries = self.program.interfaces.get(move.channel, {})
+        entry_name, args = self._match_entry(entries, values, fused)
+        bridge.accept(entry_name, args)
+        # Consume the message: fresh parts are reclaimed, borrowed parts
+        # stay with the sender (the host side received a copy).
+        for value, f in zip(values, fresh):
+            if f and isinstance(value, Ref):
+                self.heap.unlink(value)
+        self._resume_sender(sender, move.sender_arm)
+
+    def _match_entry(self, entries: dict[str, ast.Pattern],
+                     values: list[Value], fused: bool) -> tuple[str, tuple]:
+        for entry_name, pattern in entries.items():
+            if fused:
+                ok = try_match_components(self.evaluator, self._env_ps, pattern, values)
+            else:
+                ok = try_match(self.evaluator, self._env_ps, pattern, values[0])
+            if ok:
+                args: list = []
+                if fused:
+                    for item, value in zip(pattern.items, values):
+                        self._extract_args(item, value, args)
+                else:
+                    self._extract_args(pattern, values[0], args)
+                return entry_name, tuple(args)
+        raise ESPRuntimeError("message matches no external interface entry")
+
+    def _extract_args(self, pattern: ast.Pattern, value: Value, args: list) -> None:
+        if isinstance(pattern, ast.PBind):
+            args.append(self.heap.to_python(value))
+            return
+        if isinstance(pattern, ast.PEq):
+            return
+        if isinstance(pattern, ast.PRecord):
+            obj = self.heap.get(value)
+            for item, component in zip(pattern.items, obj.data):
+                self._extract_args(item, component, args)
+            return
+        if isinstance(pattern, ast.PUnion):
+            obj = self.heap.get(value)
+            self._extract_args(pattern.value, obj.data[0], args)
+
+    def _build_from_pattern(self, pattern: ast.Pattern, args_iter) -> Value:
+        """Construct a fresh message from an interface entry pattern and
+        the host-supplied binder arguments (in pattern order)."""
+        if isinstance(pattern, ast.PBind):
+            try:
+                raw = next(args_iter)
+            except StopIteration:
+                raise ESPRuntimeError(
+                    f"external message missing argument for binder "
+                    f"'{pattern.name}'", pattern.span
+                )
+            return self.build_value(pattern.type, raw)
+        if isinstance(pattern, ast.PEq):
+            value, _ = self.evaluator.eval(pattern.expr, self._env_ps)
+            return value
+        if isinstance(pattern, ast.PRecord):
+            data = [self._build_from_pattern(item, args_iter) for item in pattern.items]
+            return self.heap.alloc("record", data, mutable=False, owner=-1)
+        if isinstance(pattern, ast.PUnion):
+            inner = self._build_from_pattern(pattern.value, args_iter)
+            return self.heap.alloc("union", [inner], mutable=False,
+                                   tag=pattern.tag, owner=-1)
+        raise ESPRuntimeError("unhandled interface pattern", pattern.span)
+
+    def build_value(self, t: Type, raw) -> Value:
+        """Convert plain Python data into a heap value of type ``t``."""
+        if isinstance(t, RecordType):
+            data = [self.build_value(ft, item) for (_, ft), item in zip(t.fields, raw)]
+            return self.heap.alloc("record", data, t.mutable, owner=-1)
+        if isinstance(t, UnionType):
+            tag, inner = raw
+            tag_type = t.tag_type(tag)
+            if tag_type is None:
+                raise ESPRuntimeError(f"unknown union tag '{tag}' in external data")
+            return self.heap.alloc(
+                "union", [self.build_value(tag_type, inner)], t.mutable,
+                tag=tag, owner=-1,
+            )
+        if isinstance(t, ArrayType):
+            data = [self.build_value(t.element, item) for item in raw]
+            return self.heap.alloc("array", data, t.mutable, owner=-1)
+        if isinstance(raw, bool) or isinstance(raw, int):
+            return raw
+        raise ESPRuntimeError(f"cannot convert {raw!r} to {t}")
+
+    # -- status ---------------------------------------------------------------------
+
+    def all_blocked_or_done(self) -> bool:
+        return all(ps.status is not Status.READY for ps in self.processes)
+
+    def all_done(self) -> bool:
+        return all(ps.status is Status.DONE for ps in self.processes)
+
+    def blocked_processes(self) -> list[ProcessState]:
+        return [ps for ps in self.processes if ps.status is Status.BLOCKED]
+
+    # -- snapshot / restore ------------------------------------------------------------
+
+    def snapshot(self):
+        """A full copy of the dynamic state (for the verifier)."""
+        procs = []
+        for ps in self.processes:
+            block = None
+            if ps.block is not None:
+                b = ps.block
+                block = (
+                    b.kind,
+                    b.channel,
+                    b.port_index,
+                    tuple(b.values) if b.values is not None else None,
+                    tuple(b.fresh) if b.fresh is not None else None,
+                    b.fused,
+                    tuple(e.index for e in b.arms),
+                )
+            procs.append((ps.pc, dict(ps.locals), ps.status, block, ps.wait_mask))
+        heap_objs = {
+            oid: (obj.kind, obj.tag, obj.mutable, obj.refcount, obj.live,
+                  list(obj.data), obj.owner)
+            for oid, obj in self.heap.objects.items()
+        }
+        ext = {name: bridge.snapshot() for name, bridge in self.externals.items()}
+        retired = frozenset(getattr(self.heap, "_retired", set()))
+        return (tuple(procs), heap_objs, self.heap.next_oid, retired, ext)
+
+    def restore(self, state) -> None:
+        procs, heap_objs, next_oid, retired, ext = state
+        for ps, (pc, locals_, status, block, wait_mask) in zip(self.processes, procs):
+            ps.pc = pc
+            ps.locals = dict(locals_)
+            ps.status = status
+            ps.wait_mask = wait_mask
+            ps.block = self._rebuild_block(ps, block)
+        self.heap.objects = {}
+        for oid, (kind, tag, mutable, refcount, live, data, owner) in heap_objs.items():
+            obj = HeapObject(oid, kind, list(data), mutable, tag, owner)
+            obj.refcount = refcount
+            obj.live = live
+            self.heap.objects[oid] = obj
+        self.heap.next_oid = next_oid
+        self.heap._retired = set(retired)
+        for name, bridge_state in ext.items():
+            self.externals[name].restore(bridge_state)
+
+    def _rebuild_block(self, ps: ProcessState, block) -> BlockInfo | None:
+        if block is None:
+            return None
+        kind, channel, port_index, values, fresh, fused, arm_indexes = block
+        info = BlockInfo(
+            kind=kind,
+            channel=channel,
+            port_index=port_index,
+            values=list(values) if values is not None else None,
+            fresh=list(fresh) if fresh is not None else None,
+            fused=fused,
+        )
+        instr = ps.proc.instrs[ps.pc]
+        if kind == "in":
+            info.pattern = instr.pattern
+        elif kind == "alt":
+            from repro.runtime.interp import EnabledArm
+
+            info.arms = [EnabledArm(arm=instr.arms[i], index=i) for i in arm_indexes]
+        return info
+
+
+# ---------------------------------------------------------------------------
+# Static shape-vs-value matching (dynamic exhaustiveness check)
+# ---------------------------------------------------------------------------
+
+
+def _shape_match(heap: Heap, shape: Shape, value: Value) -> bool | None:
+    """Definite match test of a value against a static port shape.
+    Returns None when the shape has runtime-dependent constraints."""
+    if isinstance(shape, Wild):
+        return True
+    if isinstance(shape, Eq):
+        return shape.value == value
+    if isinstance(shape, EqUnknown):
+        return None
+    if isinstance(shape, Rec):
+        obj = heap.get(value)
+        if obj.kind != "record" or len(obj.data) != len(shape.items):
+            return False
+        verdicts = [
+            _shape_match(heap, item, v) for item, v in zip(shape.items, obj.data)
+        ]
+        if any(v is False for v in verdicts):
+            return False
+        if all(v is True for v in verdicts):
+            return True
+        return None
+    if isinstance(shape, Uni):
+        obj = heap.get(value)
+        if obj.kind != "union" or obj.tag != shape.tag:
+            return False
+        return _shape_match(heap, shape.value, obj.data[0])
+    return None
+
+
+def _patterns_compatible(a: ast.Pattern, b: ast.Pattern) -> bool:
+    """Could a message built from pattern ``a`` match pattern ``b``?
+    A conservative static test used to route external offers."""
+    if isinstance(a, ast.PBind) or isinstance(b, ast.PBind):
+        return True
+    if isinstance(b, ast.PEq) or isinstance(a, ast.PEq):
+        return True  # value-dependent; rechecked at delivery
+    if isinstance(a, ast.PRecord) and isinstance(b, ast.PRecord):
+        if len(a.items) != len(b.items):
+            return False
+        return all(_patterns_compatible(x, y) for x, y in zip(a.items, b.items))
+    if isinstance(a, ast.PUnion) and isinstance(b, ast.PUnion):
+        return a.tag == b.tag and _patterns_compatible(a.value, b.value)
+    return False

@@ -1,0 +1,133 @@
+"""The execution scheduler (§6.1).
+
+The generated firmware's structure, reproduced in Python: an idle loop
+polls external channels; when a message is available and a process is
+waiting, the process is restarted by jumping to its saved location (we
+restore a PC — processes need no stack).  Processes execute
+non-preemptively until they block; when a blocked pair can rendezvous,
+one is picked (the channel-selection policy need not be fair but must
+prevent starvation) and the transfer completes.
+
+Policies:
+
+* ``"stack"`` — the paper's simple stack-based policy: prefer the most
+  recently enabled move (LIFO-ish, cheap, the default);
+* ``"fifo"`` — oldest first (round-robin-ish, starvation-free);
+* ``"random"`` — seeded random choice, the paper's "picks one
+  randomly" message-transfer behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import DeadlockError
+from repro.runtime.machine import Machine, Move, Rendezvous
+
+
+@dataclass
+class RunResult:
+    """Why :meth:`Scheduler.run` returned, plus progress counts."""
+
+    reason: str  # "idle" | "done" | "limit"
+    transfers: int
+    instructions: int
+
+
+class Scheduler:
+    """Drives a :class:`Machine` with a move-selection policy."""
+
+    # Channel selection "need not be fair ... but must prevent
+    # starvation" (§4.2).  Every AGING_PERIOD-th pick falls back to the
+    # oldest enabled move, so no enabled synchronisation waits forever.
+    AGING_PERIOD = 8
+
+    def __init__(self, machine: Machine, policy: str = "stack", seed: int = 0):
+        if policy not in ("stack", "fifo", "random"):
+            raise ValueError(f"unknown scheduling policy {policy!r}")
+        self.machine = machine
+        self.policy = policy
+        self.rng = random.Random(seed)
+        self._picks = 0
+
+    def pick(self, moves: list[Move]) -> Move:
+        # The firmware completes internal rendezvous before polling the
+        # external channels (the idle loop comes last, §6.1) — so the
+        # generated C and this scheduler order work the same way.
+        internal = [m for m in moves if isinstance(m, Rendezvous)]
+        pool = internal or moves
+        self._picks += 1
+        if self.policy == "stack":
+            if self._picks % self.AGING_PERIOD == 0:
+                return pool[0]  # anti-starvation aging
+            return pool[-1]
+        if self.policy == "fifo":
+            return pool[0]
+        return self.rng.choice(pool)
+
+    def run(
+        self,
+        max_transfers: int | None = None,
+        raise_on_deadlock: bool = False,
+    ) -> RunResult:
+        """Run until idle (no enabled move), all processes done, or the
+        transfer budget is exhausted.
+
+        "Idle" means every process is blocked and no internal or
+        external synchronisation is currently possible — the firmware's
+        idle loop would now spin polling the external channels.  The
+        caller (a test, a workload driver, or the NIC simulator)
+        typically feeds more external input and calls ``run`` again.
+        """
+        machine = self.machine
+        start_transfers = machine.counters.transfers
+        start_instructions = machine.counters.instructions
+        while True:
+            machine.run_ready()
+            if machine.all_done():
+                return RunResult(
+                    "done",
+                    machine.counters.transfers - start_transfers,
+                    machine.counters.instructions - start_instructions,
+                )
+            moves = machine.enabled_moves()
+            machine.counters.idle_polls += 1
+            if not moves:
+                if raise_on_deadlock and machine.blocked_processes():
+                    names = ", ".join(
+                        ps.proc.name for ps in machine.blocked_processes()
+                    )
+                    raise DeadlockError(
+                        f"deadlock: processes blocked with no enabled move: {names}"
+                    )
+                return RunResult(
+                    "idle",
+                    machine.counters.transfers - start_transfers,
+                    machine.counters.instructions - start_instructions,
+                )
+            if (
+                max_transfers is not None
+                and machine.counters.transfers - start_transfers >= max_transfers
+            ):
+                return RunResult(
+                    "limit",
+                    machine.counters.transfers - start_transfers,
+                    machine.counters.instructions - start_instructions,
+                )
+            machine.apply(self.pick(moves))
+
+
+def run_program(
+    program,
+    externals=None,
+    max_transfers: int | None = 100_000,
+    policy: str = "stack",
+    seed: int = 0,
+    max_objects: int | None = None,
+) -> tuple[Machine, RunResult]:
+    """Build a machine for ``program``, run it, return (machine, result)."""
+    machine = Machine(program, externals=externals, max_objects=max_objects)
+    scheduler = Scheduler(machine, policy=policy, seed=seed)
+    result = scheduler.run(max_transfers=max_transfers)
+    return machine, result

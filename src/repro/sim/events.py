@@ -1,0 +1,71 @@
+"""A minimal deterministic discrete-event engine.
+
+Time is in microseconds (float).  Events scheduled at equal times fire
+in scheduling order (a monotonically increasing sequence number breaks
+ties), so runs are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class Simulator:
+    """The event queue and clock shared by all simulated components."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Callable]] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def schedule(self, delay_us: float, fn: Callable, *args) -> None:
+        """Run ``fn(*args)`` after ``delay_us`` microseconds."""
+        if delay_us < 0:
+            raise ValueError(f"negative delay {delay_us}")
+        self._seq += 1
+        heapq.heappush(
+            self._queue,
+            (self.now + delay_us, self._seq, lambda: fn(*args)),
+        )
+
+    def at(self, time_us: float, fn: Callable, *args) -> None:
+        """Run ``fn(*args)`` at absolute time ``time_us``."""
+        self.schedule(max(0.0, time_us - self.now), fn, *args)
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _seq, fn = heapq.heappop(self._queue)
+        self.now = time
+        self.events_processed += 1
+        fn()
+        return True
+
+    def run(self, until_us: float | None = None,
+            max_events: int = 10_000_000) -> None:
+        """Drain the queue (optionally up to a time horizon)."""
+        for _ in range(max_events):
+            if not self._queue:
+                return
+            if until_us is not None and self._queue[0][0] > until_us:
+                self.now = until_us
+                return
+            self.step()
+        raise RuntimeError(f"simulation exceeded {max_events} events")
+
+    def run_until(self, predicate: Callable[[], bool],
+                  max_events: int = 10_000_000) -> bool:
+        """Run until ``predicate()`` holds; returns False when the queue
+        drained first."""
+        for _ in range(max_events):
+            if predicate():
+                return True
+            if not self.step():
+                return predicate()
+        raise RuntimeError(f"simulation exceeded {max_events} events")
+
+    def pending(self) -> int:
+        return len(self._queue)

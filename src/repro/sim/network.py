@@ -1,0 +1,58 @@
+"""The wire between two NICs.
+
+A full-duplex point-to-point Myrinet link: each direction serialises
+packets at link bandwidth after a small propagation latency.  Delivery
+hands the packet to the receiving NIC as a firmware input (the receive
+DMA into SRAM is charged on the receiving side).
+"""
+
+from __future__ import annotations
+
+from repro.sim.events import Simulator
+from repro.sim.timing import CostModel
+
+
+class _Direction:
+    def __init__(self, sim: Simulator, cost: CostModel):
+        self.sim = sim
+        self.cost = cost
+        self.busy_until = 0.0
+        self.packets = 0
+        self.bytes = 0
+
+    def send(self, nbytes: int, deliver, packet) -> None:
+        begin = max(self.sim.now, self.busy_until)
+        done = begin + nbytes / self.cost.wire_mb_s
+        self.busy_until = done
+        self.packets += 1
+        self.bytes += nbytes
+        self.sim.at(done + self.cost.wire_latency_us, deliver, packet)
+
+
+class Wire:
+    """A bidirectional link joining two NICs."""
+
+    def __init__(self, sim: Simulator, cost: CostModel):
+        self.sim = sim
+        self.cost = cost
+        self._nics: list = [None, None]
+        self._dirs = [_Direction(sim, cost), _Direction(sim, cost)]
+
+    def attach(self, side: int, nic) -> None:
+        self._nics[side] = nic
+
+    def send(self, from_side: int, packet: dict, nbytes: int) -> None:
+        """Transmit ``packet`` from one side; the other side's NIC gets
+        it as a ``packet`` firmware input after serialisation."""
+        to_side = 1 - from_side
+        direction = self._dirs[from_side]
+        nic = self._nics[to_side]
+        if nic is None:
+            raise RuntimeError("wire side not attached")
+        direction.send(nbytes, nic.packet_arrived, packet)
+
+    def stats(self) -> dict:
+        return {
+            "packets": [d.packets for d in self._dirs],
+            "bytes": [d.bytes for d in self._dirs],
+        }

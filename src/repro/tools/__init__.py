@@ -1,0 +1,2 @@
+"""Developer tools: the ``espc`` compiler driver and code-size
+accounting for the §4.6 comparison."""

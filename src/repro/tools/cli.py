@@ -1,0 +1,200 @@
+"""``espc`` — the ESP compiler driver (Figure 4).
+
+Subcommands::
+
+    espc check   pgm.esp            # parse + type check + pattern analysis
+    espc emit-c  pgm.esp [-o out.c] # generate the C firmware file
+    espc emit-spin pgm.esp [-o out.pml] [--instances N]
+    espc run     pgm.esp [--max-transfers N] [--policy stack|fifo|random]
+    espc verify  pgm.esp [--process NAME] [--max-states N]
+    espc stats   pgm.esp            # optimizer statistics
+
+``run`` executes through the interpreter; external channels are not
+available from the CLI (wire them up through the Python API).
+``verify`` without ``--process`` explores the whole program; with it,
+the per-process memory-safety check of §5.3 runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lang.source import SourceFile
+
+from repro.api import compile_source_with_stats
+from repro.backends.c import generate_c
+from repro.backends.spin import generate_promela
+from repro.errors import ESPError
+from repro.lang.program import frontend
+from repro.runtime.machine import Machine
+from repro.runtime.scheduler import Scheduler
+from repro.verify.explorer import Explorer
+from repro.verify.memsafety import verify_process
+
+
+_SOURCES: dict[str, str] = {}
+
+
+def _read(path: str) -> str:
+    with open(path) as f:
+        text = f.read()
+    _SOURCES[path] = text
+    return text
+
+
+def _diagnose(err: ESPError) -> str:
+    """Render an error with a caret pointing at the offending source."""
+    span = getattr(err, "span", None)
+    if span is not None and span.filename in _SOURCES:
+        source = SourceFile(_SOURCES[span.filename], span.filename)
+        return source.caret_diagnostic(span, err.message)
+    return err.format()
+
+
+def cmd_check(args) -> int:
+    front = frontend(_read(args.file), args.file)
+    print(f"ok: {len(front.checked.processes)} process(es), "
+          f"{len(front.checked.channels)} channel(s)")
+    for warning in front.warnings:
+        print(f"warning: {warning}")
+    return 0
+
+
+def cmd_emit_c(args) -> int:
+    program, _stats, _front = compile_source_with_stats(_read(args.file), args.file)
+    code = generate_c(program, emit_main=args.main)
+    _write_out(args.output, code)
+    return 0
+
+
+def cmd_emit_spin(args) -> int:
+    front = frontend(_read(args.file), args.file)
+    spec = generate_promela(front, instances=args.instances)
+    _write_out(args.output, spec)
+    return 0
+
+
+def cmd_run(args) -> int:
+    program, _stats, _front = compile_source_with_stats(_read(args.file), args.file)
+    machine = Machine(program, print_handler=lambda name, values: print(
+        f"{name}:", *values
+    ))
+    result = Scheduler(machine, policy=args.policy).run(
+        max_transfers=args.max_transfers
+    )
+    print(f"[{result.reason}] {result.transfers} transfer(s), "
+          f"{result.instructions} instruction(s)")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    if args.process:
+        report = verify_process(_read(args.file), args.process,
+                                max_states=args.max_states)
+        print(report.summary())
+        ok = report.ok
+        violations = report.result.violations
+    else:
+        program, _stats, _front = compile_source_with_stats(
+            _read(args.file), args.file
+        )
+        machine = Machine(program)
+        result = Explorer(machine, max_states=args.max_states).explore()
+        print(result.summary())
+        ok = result.ok
+        violations = result.violations
+    for violation in violations:
+        print(violation)
+    return 0 if ok else 1
+
+
+def cmd_pretty(args) -> int:
+    from repro.lang.parser import parse
+    from repro.lang.pretty import print_program
+
+    program = parse(_read(args.file), args.file)
+    _write_out(args.output, print_program(program))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    _program, stats, _front = compile_source_with_stats(_read(args.file), args.file)
+    print(f"folds:              {stats.folds}")
+    print(f"copies propagated:  {stats.copies_propagated}")
+    print(f"dead removed:       {stats.dead_removed}")
+    print(f"outs fused:         {stats.outs_fused}")
+    print(f"casts elided:       {stats.casts_elided}")
+    print(f"cross-proc consts:  {stats.crossproc_binders}")
+    for name, (before, after) in stats.per_process_instrs.items():
+        print(f"  {name}: {before} -> {after} instructions")
+    return 0
+
+
+def _write_out(path: str | None, text: str) -> None:
+    if path:
+        with open(path, "w") as f:
+            f.write(text)
+        print(f"wrote {path}")
+    else:
+        sys.stdout.write(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="espc", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="parse and type-check")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("emit-c", help="generate the C firmware file")
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    p.add_argument("--main", action="store_true", help="emit a standalone main()")
+    p.set_defaults(fn=cmd_emit_c)
+
+    p = sub.add_parser("emit-spin", help="generate the Promela model")
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    p.add_argument("--instances", type=int, default=1)
+    p.set_defaults(fn=cmd_emit_spin)
+
+    p = sub.add_parser("run", help="execute through the interpreter")
+    p.add_argument("file")
+    p.add_argument("--max-transfers", type=int, default=100_000)
+    p.add_argument("--policy", choices=("stack", "fifo", "random"), default="stack")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("verify", help="model-check the program")
+    p.add_argument("file")
+    p.add_argument("--process", help="verify one process's memory safety")
+    p.add_argument("--max-states", type=int, default=200_000)
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("stats", help="optimizer statistics")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("pretty", help="reformat ESP source")
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_pretty)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ESPError as err:
+        print(f"espc: error: {_diagnose(err)}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as err:
+        print(f"espc: error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Code-size accounting for the §4.6 comparison.
+
+The paper reports: the original VMMC firmware was ~15,600 lines of C
+(~1,100 of them fast paths); the ESP reimplementation was ~500 lines
+of ESP (200 declarations + 300 process code) plus ~3,000 lines of
+simple C helpers — an order of magnitude less state-machine code, with
+all the complex interactions confined to the ESP part.
+
+We measure our own artifacts the same way: non-blank, non-comment
+lines, split into declaration lines vs process-code lines for ESP
+sources, and total lines for the Python that plays each C role.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LocReport:
+    total: int = 0
+    code: int = 0
+    comment: int = 0
+    blank: int = 0
+    breakdown: dict[str, int] = field(default_factory=dict)
+
+
+def count_source(text: str, line_comment: str = "//") -> LocReport:
+    """Count lines of a C-like source (ESP, C, Promela)."""
+    report = LocReport()
+    in_block = False
+    for raw in text.splitlines():
+        report.total += 1
+        line = raw.strip()
+        if in_block:
+            report.comment += 1
+            if "*/" in line:
+                in_block = False
+            continue
+        if not line:
+            report.blank += 1
+        elif line.startswith(line_comment):
+            report.comment += 1
+        elif line.startswith("/*"):
+            report.comment += 1
+            if "*/" not in line:
+                in_block = True
+        else:
+            report.code += 1
+    return report
+
+
+def count_python(text: str) -> LocReport:
+    """Count lines of Python (comments = #... and docstring-only lines
+    are approximated as comments)."""
+    report = LocReport()
+    in_doc = False
+    for raw in text.splitlines():
+        report.total += 1
+        line = raw.strip()
+        if in_doc:
+            report.comment += 1
+            if line.endswith('"""') or line.endswith("'''"):
+                in_doc = False
+            continue
+        if not line:
+            report.blank += 1
+        elif line.startswith("#"):
+            report.comment += 1
+        elif line.startswith('"""') or line.startswith("'''"):
+            report.comment += 1
+            quote = line[:3]
+            if not (line.endswith(quote) and len(line) >= 6):
+                in_doc = True
+        else:
+            report.code += 1
+    return report
+
+
+def split_esp_declarations(text: str) -> tuple[int, int]:
+    """(declaration lines, process-code lines) of an ESP source, the
+    paper's '200 lines of declarations + 300 lines of process code'."""
+    decl = proc = 0
+    depth = 0
+    in_process = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("//"):
+            continue
+        if line.startswith("process "):
+            in_process = True
+        if in_process:
+            proc += 1
+        else:
+            decl += 1
+        depth += line.count("{") - line.count("}")
+        if in_process and depth == 0 and "}" in line:
+            in_process = False
+    return decl, proc
+
+
+def vmmc_code_size_comparison() -> dict:
+    """The E4 table: code sizes of our firmware artifacts, next to the
+    paper's numbers."""
+    from repro.vmmc import baseline as baseline_mod
+    from repro.vmmc import firmware_esp as esp_mod
+    from repro.vmmc import framework as framework_mod
+    from repro.vmmc.firmware_esp import VMMC_ESP_SOURCE
+
+    esp = count_source(VMMC_ESP_SOURCE)
+    decl, proc = split_esp_declarations(VMMC_ESP_SOURCE)
+    helpers = count_python(inspect.getsource(esp_mod.VMMCEspFirmware))
+    baseline = count_python(inspect.getsource(baseline_mod))
+    framework = count_python(inspect.getsource(framework_mod))
+    return {
+        "paper": {
+            "orig_c_lines": 15600,
+            "orig_fastpath_lines": 1100,
+            "esp_lines": 500,
+            "esp_decl_lines": 200,
+            "esp_process_lines": 300,
+            "esp_c_helper_lines": 3000,
+        },
+        "ours": {
+            "esp_lines": esp.code,
+            "esp_decl_lines": decl,
+            "esp_process_lines": proc,
+            "esp_helper_lines": helpers.code,
+            "baseline_lines": baseline.code + framework.code,
+        },
+    }

@@ -1,0 +1,131 @@
+"""Bit-state hashing mode (§5.1).
+
+For state spaces too large for exhaustive search, SPIN's bit-state
+(supertrace) mode stores only hash bits of visited states in a fixed
+bitmap: dramatically less memory, at the price of possibly treating an
+unvisited state as visited (a hash collision) and therefore missing
+part of the space.  We reproduce it with ``k`` independent hash
+functions over the canonical state (k=2 by default, like SPIN's
+double-hash default).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ESPError
+from repro.runtime.machine import Machine
+from repro.verify.explorer import _violation_from
+from repro.verify.properties import Invariant, Violation
+from repro.verify.state import canonical_state
+
+
+@dataclass
+class BitstateResult:
+    states_stored: int = 0
+    transitions: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    bitmap_bytes: int = 0
+    # Fraction of bitmap bits set: a high fill factor means collisions
+    # (and missed states) are likely — SPIN reports the same hint.
+    fill_factor: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"{self.states_stored} states stored, {self.transitions} transitions, "
+            f"{self.bitmap_bytes} B bitmap ({self.fill_factor:.2%} full), "
+            f"{self.elapsed_seconds:.3f}s [{status}]"
+        )
+
+
+class BitstateExplorer:
+    """DFS with a bitmap visited-set instead of a state store."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        invariants: list[Invariant] | None = None,
+        bitmap_bits: int = 1 << 20,
+        hash_count: int = 2,
+        max_depth: int | None = None,
+        stop_at_first: bool = True,
+    ):
+        self.machine = machine
+        self.invariants = list(invariants or [])
+        self.bitmap_bits = bitmap_bits
+        self.hash_count = hash_count
+        self.max_depth = max_depth
+        self.stop_at_first = stop_at_first
+        self._bitmap = bytearray(bitmap_bits // 8 + 1)
+        self._bits_set = 0
+
+    def _mark(self, key) -> bool:
+        """Set the state's hash bits; returns True when it was new
+        (i.e. at least one bit was previously clear)."""
+        new = False
+        for salt in range(self.hash_count):
+            h = hash((salt, key)) % self.bitmap_bits
+            byte, bit = divmod(h, 8)
+            if not self._bitmap[byte] & (1 << bit):
+                self._bitmap[byte] |= 1 << bit
+                self._bits_set += 1
+                new = True
+        return new
+
+    def explore(self) -> BitstateResult:
+        machine = self.machine
+        result = BitstateResult(bitmap_bytes=len(self._bitmap))
+        started = time.perf_counter()
+        try:
+            machine.run_ready()
+        except ESPError as err:
+            result.violations.append(_violation_from(err, [], 0))
+            result.elapsed_seconds = time.perf_counter() - started
+            return result
+        self._mark(canonical_state(machine))
+        result.states_stored = 1
+        stack = [(machine.snapshot(), 0, [])]
+        while stack:
+            if self.stop_at_first and result.violations:
+                break
+            snapshot, depth, trace = stack.pop()
+            if self.max_depth is not None and depth >= self.max_depth:
+                continue
+            machine.restore(snapshot)
+            for move in machine.enabled_moves():
+                machine.restore(snapshot)
+                next_trace = trace + [move.describe(machine)]
+                try:
+                    machine.apply(move)
+                    machine.run_ready()
+                except ESPError as err:
+                    result.transitions += 1
+                    result.violations.append(
+                        _violation_from(err, next_trace, depth + 1)
+                    )
+                    continue
+                result.transitions += 1
+                broken = False
+                for invariant in self.invariants:
+                    message = invariant(machine)
+                    if message is not None:
+                        result.violations.append(
+                            Violation("invariant", message, next_trace, depth + 1)
+                        )
+                        broken = True
+                        break
+                if broken:
+                    continue
+                if self._mark(canonical_state(machine)):
+                    result.states_stored += 1
+                    stack.append((machine.snapshot(), depth + 1, next_trace))
+        result.fill_factor = self._bits_set / self.bitmap_bits
+        result.elapsed_seconds = time.perf_counter() - started
+        return result

@@ -1,0 +1,48 @@
+"""Counterexample formatting.
+
+When model checking finds a violation, SPIN "can produce an execution
+sequence that causes the violation and thereby helps in finding the
+bug" (§5.1).  Our violations carry the move trace from the initial
+state; this module renders it for humans and groups multiple
+violations for reports.
+"""
+
+from __future__ import annotations
+
+from repro.verify.properties import Violation
+
+
+def format_trace(violation: Violation, heading: str = "counterexample") -> str:
+    """A SPIN-style numbered execution sequence ending in the violation."""
+    lines = [f"{heading}: {violation.kind} — {violation.message}"]
+    for i, step in enumerate(violation.trace, start=1):
+        lines.append(f"  step {i:3d}: {step}")
+    lines.append(f"  => {violation.message}")
+    return "\n".join(lines)
+
+
+def shortest(violations: list[Violation]) -> Violation | None:
+    """The violation with the shortest trace (the most readable one)."""
+    if not violations:
+        return None
+    return min(violations, key=lambda v: len(v.trace))
+
+
+def group_by_kind(violations: list[Violation]) -> dict[str, list[Violation]]:
+    groups: dict[str, list[Violation]] = {}
+    for violation in violations:
+        groups.setdefault(violation.kind, []).append(violation)
+    return groups
+
+
+def report(violations: list[Violation]) -> str:
+    """A summary report over all violations found in a run."""
+    if not violations:
+        return "no violations found"
+    lines = [f"{len(violations)} violation(s):"]
+    for kind, group in sorted(group_by_kind(violations).items()):
+        lines.append(f"  {kind}: {len(group)}")
+    best = shortest(violations)
+    lines.append("")
+    lines.append(format_trace(best, heading="shortest counterexample"))
+    return "\n".join(lines)

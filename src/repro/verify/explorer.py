@@ -1,0 +1,197 @@
+"""Exhaustive state-space exploration (the paper's SPIN exhaustive
+mode, §5.1).
+
+Processes are deterministic between blocking points and share no
+state, so the only interleaving that matters is the choice of the next
+synchronisation — a sound partial-order reduction that is exactly why
+ESP models stay small enough to verify (§5.3).  A *transition* is:
+apply one enabled move, then run every runnable process to its next
+block.
+
+The explorer is driven through :meth:`Machine.snapshot`/``restore``
+(the same interpreter that executes firmware — one program, both
+targets, Figure 4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ESPError, ESPRuntimeError
+from repro.runtime.machine import Machine
+from repro.verify.properties import Invariant, Violation
+from repro.verify.state import canonical_state, is_quiescent
+
+
+@dataclass
+class ExploreResult:
+    """Statistics of one exploration run (compare with the paper's
+    "2251 states ... 0.5 second ... 2.2 Mbytes")."""
+
+    states: int = 0
+    transitions: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    complete: bool = True
+    max_depth: int = 0
+    elapsed_seconds: float = 0.0
+    memory_bytes: int = 0  # size of the visited-state store
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"{self.states} states, {self.transitions} transitions, "
+            f"depth {self.max_depth}, {self.elapsed_seconds:.3f}s, "
+            f"~{self.memory_bytes / 1e6:.2f} MB [{status}]"
+        )
+
+
+class Explorer:
+    """Exhaustive DFS over the rendezvous-level state space."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        invariants: list[Invariant] | None = None,
+        check_deadlock: bool = True,
+        quiescence_ok: bool = True,
+        max_states: int | None = None,
+        max_depth: int | None = None,
+        stop_at_first: bool = True,
+    ):
+        self.machine = machine
+        self.invariants = list(invariants or [])
+        self.check_deadlock = check_deadlock
+        # With quiescence_ok, a state where everything is blocked but the
+        # environment has simply gone quiet is not a deadlock (firmware
+        # idling is normal); without it, any move-less state is flagged.
+        self.quiescence_ok = quiescence_ok
+        self.max_states = max_states
+        self.max_depth = max_depth
+        self.stop_at_first = stop_at_first
+
+    def explore(self) -> ExploreResult:
+        machine = self.machine
+        result = ExploreResult()
+        started = time.perf_counter()
+
+        if not self._settle(result, [], 0):
+            result.elapsed_seconds = time.perf_counter() - started
+            return result
+
+        initial_key = canonical_state(machine)
+        visited = {initial_key}
+        result.states = 1
+        result.memory_bytes = _key_size(initial_key)
+        stack = [(machine.snapshot(), 0, [])]
+
+        while stack:
+            if self.stop_at_first and result.violations:
+                break
+            snapshot, depth, trace = stack.pop()
+            machine.restore(snapshot)
+            moves = machine.enabled_moves()
+            if not moves:
+                self._check_deadlock(result, trace, depth)
+                continue
+            if self.max_depth is not None and depth >= self.max_depth:
+                result.complete = False
+                continue
+            for move in moves:
+                machine.restore(snapshot)
+                description = move.describe(machine)
+                next_trace = trace + [description]
+                try:
+                    machine.apply(move)
+                except ESPError as err:
+                    result.transitions += 1
+                    result.violations.append(
+                        _violation_from(err, next_trace, depth + 1)
+                    )
+                    continue
+                result.transitions += 1
+                if not self._settle(result, next_trace, depth + 1):
+                    continue
+                key = canonical_state(machine)
+                if key in visited:
+                    continue
+                visited.add(key)
+                result.states += 1
+                result.memory_bytes += _key_size(key)
+                result.max_depth = max(result.max_depth, depth + 1)
+                if self.max_states is not None and result.states >= self.max_states:
+                    result.complete = False
+                    stack.clear()
+                    break
+                stack.append((machine.snapshot(), depth + 1, next_trace))
+
+        result.elapsed_seconds = time.perf_counter() - started
+        if result.violations:
+            result.complete = False
+        return result
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _settle(self, result: ExploreResult, trace: list[str], depth: int) -> bool:
+        """Run all runnable processes to their blocks, converting
+        interpreter exceptions and invariant failures into violations.
+        Returns False when this branch ended in a violation."""
+        try:
+            self.machine.run_ready()
+        except ESPError as err:
+            result.violations.append(_violation_from(err, trace, depth))
+            return False
+        for invariant in self.invariants:
+            message = invariant(self.machine)
+            if message is not None:
+                result.violations.append(
+                    Violation("invariant", message, list(trace), depth)
+                )
+                return False
+        return True
+
+    def _check_deadlock(self, result: ExploreResult, trace: list[str],
+                        depth: int) -> None:
+        if not self.check_deadlock:
+            return
+        machine = self.machine
+        if not machine.blocked_processes():
+            return  # all done: normal termination
+        if self.quiescence_ok and is_quiescent(machine):
+            return
+        names = ", ".join(ps.proc.name for ps in machine.blocked_processes())
+        result.violations.append(
+            Violation(
+                "deadlock",
+                f"no enabled move; blocked: {names}",
+                list(trace),
+                depth,
+            )
+        )
+
+
+def _violation_from(err: ESPError, trace: list[str], depth: int) -> Violation:
+    from repro.errors import AssertionFailure, MemorySafetyError
+
+    if isinstance(err, AssertionFailure):
+        kind = "assertion"
+    elif isinstance(err, MemorySafetyError):
+        kind = "memory"
+    elif isinstance(err, ESPRuntimeError):
+        kind = "runtime"
+    else:
+        kind = "runtime"
+    return Violation(kind, err.format(), list(trace), depth)
+
+
+def _key_size(key) -> int:
+    """Rough byte estimate of a canonical state key."""
+    if isinstance(key, tuple):
+        return 8 + sum(_key_size(k) for k in key)
+    if isinstance(key, str):
+        return len(key)
+    return 8

@@ -1,0 +1,222 @@
+"""Liveness-flavoured checking (§5.1's "more complex properties, like
+absence of starvation, can be specified using Linear Temporal Logic").
+
+Full LTL needs Büchi automata; for the properties the paper actually
+names, branching-time reachability over the explored graph suffices
+and keeps the implementation small:
+
+* **always-eventually (AG EF goal)** — from *every* reachable state, a
+  goal state remains reachable.  Its violation is a reachable state
+  from which the goal can never happen again: exactly starvation
+  (a process that can never take a step) or livelock (a system that
+  can never deliver again).
+* **inevitability under fairness (no goal-free cycles)** — a cycle in
+  the reachable graph touching no goal state is an execution that runs
+  forever without the goal; with the (strong-fairness) assumption that
+  enabled synchronisations eventually happen, its absence means the
+  goal always eventually occurs.
+
+Both operate on the full reachable graph, so they are exhaustive like
+the safety explorer, and both return witness traces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ESPError
+from repro.runtime.machine import Machine
+from repro.verify.state import canonical_state
+
+
+@dataclass
+class LivenessResult:
+    """Result of a liveness check over the reachable graph."""
+
+    holds: bool
+    states: int = 0
+    goal_states: int = 0
+    elapsed_seconds: float = 0.0
+    complete: bool = True
+    witness: list[str] = field(default_factory=list)  # trace to a bad state
+    reason: str = ""
+
+    def summary(self) -> str:
+        verdict = "holds" if self.holds else f"violated ({self.reason})"
+        return (
+            f"{self.states} states ({self.goal_states} goal), "
+            f"{self.elapsed_seconds:.3f}s [{verdict}]"
+        )
+
+
+class _Graph:
+    """The explored state graph: nodes are canonical states."""
+
+    def __init__(self):
+        self.index: dict = {}
+        self.succs: list[list[int]] = []
+        self.goal: list[bool] = []
+        self.trace: list[list[str]] = []  # one witness path per node
+
+    def add(self, key, is_goal: bool, trace: list[str]) -> tuple[int, bool]:
+        if key in self.index:
+            return self.index[key], False
+        node = len(self.succs)
+        self.index[key] = node
+        self.succs.append([])
+        self.goal.append(is_goal)
+        self.trace.append(trace)
+        return node, True
+
+
+def _build_graph(machine: Machine, goal: Callable[[Machine], bool],
+                 max_states: int) -> tuple[_Graph, bool]:
+    machine.run_ready()
+    graph = _Graph()
+    root_key = canonical_state(machine)
+    root, _ = graph.add(root_key, goal(machine), [])
+    stack = [(machine.snapshot(), root)]
+    complete = True
+    while stack:
+        snapshot, node = stack.pop()
+        machine.restore(snapshot)
+        for move in machine.enabled_moves():
+            machine.restore(snapshot)
+            description = move.describe(machine)
+            try:
+                machine.apply(move)
+                machine.run_ready()
+            except ESPError:
+                # Safety violations are the safety explorer's business;
+                # treat the branch as terminal here.
+                continue
+            key = canonical_state(machine)
+            succ, new = graph.add(key, goal(machine),
+                                  graph.trace[node] + [description])
+            graph.succs[node].append(succ)
+            if new:
+                if len(graph.succs) >= max_states:
+                    complete = False
+                    stack.clear()
+                    break
+                stack.append((machine.snapshot(), succ))
+    return graph, complete
+
+
+def check_always_eventually(
+    machine: Machine,
+    goal: Callable[[Machine], bool],
+    max_states: int = 100_000,
+) -> LivenessResult:
+    """AG EF goal: from every reachable state the goal stays reachable.
+
+    The violation witness is a path to a state from which no goal
+    state can ever be reached again."""
+    started = time.perf_counter()
+    graph, complete = _build_graph(machine, goal, max_states)
+    n = len(graph.succs)
+    # Backward reachability from goal states.
+    preds: list[list[int]] = [[] for _ in range(n)]
+    for node, succs in enumerate(graph.succs):
+        for succ in succs:
+            preds[succ].append(node)
+    can_reach_goal = [False] * n
+    worklist = [i for i in range(n) if graph.goal[i]]
+    for i in worklist:
+        can_reach_goal[i] = True
+    while worklist:
+        node = worklist.pop()
+        for pred in preds[node]:
+            if not can_reach_goal[pred]:
+                can_reach_goal[pred] = True
+                worklist.append(pred)
+    result = LivenessResult(
+        holds=all(can_reach_goal),
+        states=n,
+        goal_states=sum(graph.goal),
+        complete=complete,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+    if not result.holds:
+        bad = min(
+            (i for i in range(n) if not can_reach_goal[i]),
+            key=lambda i: len(graph.trace[i]),
+        )
+        result.witness = graph.trace[bad]
+        result.reason = "a reachable state can never reach the goal again"
+    return result
+
+
+def check_no_goal_free_cycles(
+    machine: Machine,
+    goal: Callable[[Machine], bool],
+    max_states: int = 100_000,
+) -> LivenessResult:
+    """Inevitability: no cycle (including self-loops) avoids the goal.
+
+    A goal-free cycle is an infinite execution on which the goal never
+    occurs — e.g. a process that can be bypassed forever (starvation).
+    """
+    started = time.perf_counter()
+    graph, complete = _build_graph(machine, goal, max_states)
+    n = len(graph.succs)
+    # Cycle detection restricted to non-goal nodes (iterative DFS,
+    # colouring: 0 unseen, 1 on stack, 2 done).
+    colour = [0] * n
+    cycle_node = -1
+    for start in range(n):
+        if colour[start] != 0 or graph.goal[start]:
+            continue
+        stack = [(start, iter(graph.succs[start]))]
+        colour[start] = 1
+        while stack and cycle_node < 0:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if graph.goal[succ]:
+                    continue
+                if colour[succ] == 1:
+                    cycle_node = succ
+                    break
+                if colour[succ] == 0:
+                    colour[succ] = 1
+                    stack.append((succ, iter(graph.succs[succ])))
+                    advanced = True
+                    break
+            else:
+                colour[node] = 2
+                stack.pop()
+                continue
+            if advanced:
+                continue
+        if cycle_node >= 0:
+            break
+    result = LivenessResult(
+        holds=cycle_node < 0,
+        states=n,
+        goal_states=sum(graph.goal),
+        complete=complete,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+    if cycle_node >= 0:
+        result.witness = graph.trace[cycle_node]
+        result.reason = "an infinite execution avoids the goal (goal-free cycle)"
+    return result
+
+
+def process_runs(process_name: str) -> Callable[[Machine], bool]:
+    """Goal predicate: the named process just became runnable (it took
+    part in the last synchronisation) — the building block for
+    starvation checks."""
+
+    def goal(machine: Machine) -> bool:
+        from repro.runtime.interp import Status
+
+        for ps in machine.processes:
+            if ps.proc.name == process_name:
+                return ps.status is not Status.BLOCKED or ps.steps > 0
+        return False
+
+    return goal

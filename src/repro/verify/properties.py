@@ -1,0 +1,94 @@
+"""Verification properties and violations.
+
+The verifier checks, in the paper's order of importance (§5):
+
+* **safety exceptions** — memory-safety violations (§4.4) and failed
+  ``assert`` statements surface as exceptions from the interpreter and
+  are converted into violations automatically;
+* **deadlock** — a state with blocked processes and no enabled move;
+* **invariants** — user-supplied predicates over the machine, checked
+  in every explored state (the role of the programmer's ``test.SPIN``
+  assertions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.runtime.machine import Machine
+
+
+@dataclass
+class Violation:
+    """One property violation with its counterexample trace."""
+
+    kind: str  # "assertion" | "memory" | "deadlock" | "invariant" | "runtime"
+    message: str
+    trace: list[str] = field(default_factory=list)
+    depth: int = 0
+
+    def __str__(self) -> str:
+        header = f"[{self.kind}] {self.message}"
+        if not self.trace:
+            return header
+        steps = "\n".join(f"  {i + 1}. {step}" for i, step in enumerate(self.trace))
+        return f"{header}\ntrace ({len(self.trace)} steps):\n{steps}"
+
+
+# An invariant returns None when satisfied, or a violation message.
+Invariant = Callable[[Machine], "str | None"]
+
+
+def max_live_objects(limit: int) -> Invariant:
+    """Invariant: at most ``limit`` live heap objects (leak detector)."""
+
+    def check(machine: Machine) -> str | None:
+        count = machine.heap.live_count()
+        if count > limit:
+            return f"{count} live objects exceeds limit {limit} (leak?)"
+        return None
+
+    return check
+
+
+def refcounts_match_references() -> Invariant:
+    """Invariant: every object's refcount equals the number of actual
+    references to it (from locals, blocked messages, and other objects)
+    plus its allocation/link surplus — i.e. the count is never *below*
+    the true reference count, which would presage a premature free."""
+
+    def check(machine: Machine) -> str | None:
+        from repro.runtime.values import Ref
+
+        counts: dict[int, int] = {}
+
+        def note(value):
+            if isinstance(value, Ref):
+                counts[value.oid] = counts.get(value.oid, 0) + 1
+
+        for obj in machine.heap.live_objects():
+            for v in obj.data:
+                note(v)
+        for oid, references in counts.items():
+            obj = machine.heap.objects.get(oid)
+            if obj is not None and obj.live and obj.refcount < references:
+                return (
+                    f"object {oid} has refcount {obj.refcount} but "
+                    f"{references} live references point at it"
+                )
+        return None
+
+    return check
+
+
+def process_never_at(process_name: str, pc: int) -> Invariant:
+    """Invariant: a given program point is unreachable."""
+
+    def check(machine: Machine) -> str | None:
+        for ps in machine.processes:
+            if ps.proc.name == process_name and ps.pc == pc:
+                return f"process '{process_name}' reached forbidden pc {pc}"
+        return None
+
+    return check

@@ -1,0 +1,105 @@
+"""Random simulation mode (§5.1).
+
+SPIN's simulation mode explores a single execution sequence, making a
+random choice between the possible next states at each stage.  The
+paper used it as the primary development vehicle: "parts of the system
+were developed and debugged entirely using the SPIN simulator", and
+its per-step randomness makes it "more effective in discovering bugs"
+than a faithful simulator.  This module reproduces that mode: random
+walks over the move graph, with optional restarts.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ESPError
+from repro.runtime.machine import Machine
+from repro.verify.explorer import _violation_from
+from repro.verify.properties import Invariant, Violation
+
+
+@dataclass
+class SimulationResult:
+    steps: int = 0
+    runs: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"{self.runs} run(s), {self.steps} steps, "
+            f"{self.elapsed_seconds:.3f}s [{status}]"
+        )
+
+
+class Simulator:
+    """Seeded random walks over a machine's move graph."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        invariants: list[Invariant] | None = None,
+        seed: int = 0,
+        max_steps: int = 10_000,
+        runs: int = 1,
+    ):
+        self.machine = machine
+        self.invariants = list(invariants or [])
+        self.rng = random.Random(seed)
+        self.max_steps = max_steps
+        self.runs = runs
+
+    def simulate(self) -> SimulationResult:
+        result = SimulationResult()
+        started = time.perf_counter()
+        initial = None
+        for run in range(self.runs):
+            result.runs += 1
+            if initial is None:
+                try:
+                    self.machine.run_ready()
+                except ESPError as err:
+                    result.violations.append(_violation_from(err, [], 0))
+                    break
+                initial = self.machine.snapshot()
+            else:
+                self.machine.restore(initial)
+            if self._walk(result):
+                break
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def _walk(self, result: SimulationResult) -> bool:
+        """One random walk; returns True when a violation was found."""
+        trace: list[str] = []
+        for step in range(self.max_steps):
+            moves = self.machine.enabled_moves()
+            if not moves:
+                return False  # quiescent; nothing more can happen
+            move = self.rng.choice(moves)
+            trace.append(move.describe(self.machine))
+            try:
+                self.machine.apply(move)
+                self.machine.run_ready()
+            except ESPError as err:
+                result.steps += step + 1
+                result.violations.append(_violation_from(err, trace, step + 1))
+                return True
+            for invariant in self.invariants:
+                message = invariant(self.machine)
+                if message is not None:
+                    result.steps += step + 1
+                    result.violations.append(
+                        Violation("invariant", message, list(trace), step + 1)
+                    )
+                    return True
+        result.steps += self.max_steps
+        return False

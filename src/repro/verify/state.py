@@ -1,0 +1,94 @@
+"""Canonical global-state encoding for the verifier.
+
+A global state is a snapshot of every process (PC, locals, block
+reason) plus the heap and the external-environment state (§5.1).  Heap
+objectIds depend on allocation order, so two semantically identical
+states can differ in raw ids; we canonicalise by renumbering objects
+in deterministic root-traversal order (process order, then local name
+order), which makes loop states hash equal and keeps state spaces
+small — the same role the objectId tables play in the paper's SPIN
+translation (§5.2).
+
+Objects that are live but unreachable from any root (leaked memory)
+are appended in allocation order: leaks therefore *grow* the state
+vector, so a leaking loop never closes a cycle and eventually trips
+the bounded object table — which is how the verifier catches leaks.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.interp import Status
+from repro.runtime.machine import Machine
+from repro.runtime.values import Ref
+
+
+def canonical_state(machine) -> tuple:
+    """A hashable, canonical encoding of the machine's global state.
+
+    Objects providing their own ``canonical_state`` method (e.g. a
+    :class:`repro.verify.coupled.CoupledSystem`) are delegated to —
+    unless they *are* a plain Machine, whose method-less path is below.
+    """
+    own = getattr(machine, "canonical_state", None)
+    if own is not None and not isinstance(machine, Machine):
+        return own()
+    remap: dict[int, int] = {}
+    heap_entries: list[tuple] = []
+
+    def visit(value):
+        if not isinstance(value, Ref):
+            return value
+        oid = value.oid
+        if oid in remap:
+            return ("ref", remap[oid])
+        canonical = len(remap)
+        remap[oid] = canonical
+        obj = machine.heap.objects.get(oid)
+        if obj is None or not obj.live:
+            heap_entries.append((canonical, "dangling"))
+            return ("ref", canonical)
+        placeholder = len(heap_entries)
+        heap_entries.append(None)  # reserve position
+        data = tuple(visit(v) for v in obj.data)
+        heap_entries[placeholder] = (
+            canonical, obj.kind, obj.tag, obj.mutable, obj.refcount, data
+        )
+        return ("ref", canonical)
+
+    procs = []
+    for ps in machine.processes:
+        block = None
+        if ps.block is not None:
+            b = ps.block
+            values = (
+                tuple(visit(v) for v in b.values) if b.values is not None else None
+            )
+            block = (b.kind, b.channel, b.port_index, b.fused, values,
+                     tuple(e.index for e in b.arms))
+        locals_ = tuple(
+            (name, visit(value)) for name, value in sorted(ps.locals.items())
+        )
+        procs.append((ps.pc, ps.status.value, locals_, block))
+
+    # Leaked (live but unreachable) objects, in stable order.
+    for oid in sorted(machine.heap.objects):
+        obj = machine.heap.objects[oid]
+        if obj.live and oid not in remap:
+            visit(Ref(oid))
+
+    ext = tuple(
+        (name, machine.externals[name].snapshot())
+        for name in sorted(machine.externals)
+    )
+    return (tuple(procs), tuple(heap_entries), ext)
+
+
+def state_fingerprint(state: tuple) -> int:
+    """A 64-bit fingerprint of a canonical state (bit-state hashing)."""
+    return hash(state) & 0xFFFFFFFFFFFFFFFF
+
+
+def is_quiescent(machine) -> bool:
+    """True when every process is blocked or done (the firmware would
+    be spinning in its idle loop)."""
+    return all(ps.status is not Status.READY for ps in machine.processes)

@@ -1,0 +1,35 @@
+"""The VMMC firmware case study (§2.1, §4.6, §6.2).
+
+Two functionally equivalent firmware implementations run on the
+simulated NIC:
+
+* :mod:`repro.vmmc.firmware_esp` — the firmware written in ESP and
+  executed by the real ESP interpreter (vmmcESP);
+* :mod:`repro.vmmc.baseline` — the event-driven state-machine
+  implementation in the C style of Appendix A, with optional
+  hand-optimized fast paths (vmmcOrig / vmmcOrigNoFastPaths).
+
+Workload drivers (:mod:`repro.vmmc.workloads`) reproduce the three
+microbenchmarks of Figure 5.
+"""
+
+from repro.vmmc.baseline import VMMCBaselineFirmware
+from repro.vmmc.firmware_esp import VMMCEspFirmware, VMMC_ESP_SOURCE
+from repro.vmmc.workloads import (
+    BenchmarkResult,
+    bidirectional_bandwidth,
+    build_pair,
+    one_way_bandwidth,
+    pingpong_latency,
+)
+
+__all__ = [
+    "VMMCBaselineFirmware",
+    "VMMCEspFirmware",
+    "VMMC_ESP_SOURCE",
+    "build_pair",
+    "pingpong_latency",
+    "one_way_bandwidth",
+    "bidirectional_bandwidth",
+    "BenchmarkResult",
+]

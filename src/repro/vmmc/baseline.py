@@ -1,0 +1,332 @@
+"""vmmcOrig: the baseline event-driven state-machine firmware.
+
+A faithful rebuild of the original VMMC firmware structure the paper
+compares against (§2.2, Appendix A): state machines written against
+``setHandler``/``setState``/``deliverEvent``, data passed between
+handlers through globals, and hand-optimized **fast paths** that are
+taken only when the network DMA is free and no other request is being
+processed — the very brittleness §6.2 blames for the gap between
+vmmcOrig and vmmcOrigNoFastPaths.
+
+Protocol behaviour is identical to the ESP firmware (translate →
+fetch → packetize → sliding window with piggyback/explicit acks →
+store → notify); only the internal structure and the cycle accounting
+differ.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim.nic import FirmwareAction, FirmwareBase, FirmwareInput
+from repro.sim.timing import CostModel, CycleCounter
+from repro.vmmc.framework import EventFramework
+from repro.vmmc.packets import (
+    ACK,
+    ACK_THRESHOLD,
+    DATA,
+    SendWindow,
+    ack_packet,
+    data_packet,
+)
+
+
+class VMMCBaselineFirmware(FirmwareBase):
+    """The Appendix-A implementation, with optional fast paths."""
+
+    def __init__(self, cost: CostModel, node_id: int, fastpaths: bool = True):
+        self.cost = cost
+        self.node_id = node_id
+        self.fastpaths = fastpaths
+        self.name = "vmmcOrig" if fastpaths else "vmmcOrigNoFastPaths"
+        self.counter = CycleCounter()
+        self.fw = EventFramework(cost, self.counter)
+        # --- globals, exactly the style the paper criticises (§2.2) ---
+        self.page_table: dict[int, int] = {}
+        self.window = SendWindow(cost.window_size)
+        self.request_queue: deque[dict] = deque()
+        self.current_request: dict | None = None
+        self.chunks: list[int] = []
+        self.chunk_index = 0
+        self.msg_counter = 0
+        self.pending_packets: deque[dict] = deque()  # fetched, awaiting window
+        self.fastpath_in_flight = False
+        self.fastpath_taken = 0
+        self.fastpath_missed = 0
+        self.recv_unacked = 0
+        self.recv_last_seq = -1
+        self._actions: list[FirmwareAction] = []
+        self._build_state_machines()
+
+    # -- state machine wiring (Appendix A main()) ---------------------------------
+
+    def _build_state_machines(self) -> None:
+        fw = self.fw
+        self.SM1 = fw.machine("SM1")
+        self.SM2 = fw.machine("SM2")
+        self.RECV = fw.machine("RECV")
+        fw.set_handler(self.SM1, "WaitReq", "UserReq", self._handle_req)
+        fw.set_handler(self.SM1, "WaitDMA", "FetchDone", self._fetch_done)
+        fw.set_handler(self.SM2, "Ready", "PktReady", self._pkt_ready)
+        fw.set_handler(self.SM2, "Ready", "Ack", self._ack)
+        fw.set_handler(self.RECV, "WaitPkt", "DataPkt", self._data_pkt)
+        fw.set_handler(self.RECV, "WaitPkt", "StoreDone", self._store_done)
+        fw.set_state(self.SM1, "WaitReq")
+        fw.set_state(self.SM2, "Ready")
+        fw.set_state(self.RECV, "WaitPkt")
+
+    # -- FirmwareBase -----------------------------------------------------------------
+
+    def step(self, inputs: list[FirmwareInput]):
+        self._actions = []
+        for inp in inputs:
+            self._route(inp)
+        return self.counter.take(), self._actions
+
+    def _route(self, inp: FirmwareInput) -> None:
+        fw = self.fw
+        if inp.kind == "host_req":
+            req = inp.payload
+            if req["kind"] == "update":
+                # UpdateReq shares handleReq's switch in the original
+                # (§2.2's complaint); one dispatch, then the table write.
+                self.counter.charge(self.cost.cycles_c_handler, "handler")
+                self.page_table[req["vaddr"]] = req["paddr"]
+                return
+            self.request_queue.append(req)
+            if fw.is_state(self.SM1, "WaitReq") and self.current_request is None:
+                self._pickup_next()
+        elif inp.kind == "host_dma_done":
+            tag = inp.payload
+            if tag[0] == "fetch":
+                fw.deliver_event(self.SM1, "FetchDone", tag)
+            elif tag[0] == "fastfetch":
+                self._fastpath_fetch_done(tag)
+            elif tag[0] == "faststore":
+                self._recv_fast_store_done(tag)
+            else:
+                fw.deliver_event(self.RECV, "StoreDone", tag)
+        elif inp.kind == "packet":
+            pkt = inp.payload
+            if pkt["type"] == DATA:
+                if self.fastpaths and self._recv_fastpath_applicable():
+                    self._recv_fast(pkt)
+                    return
+                # Piggybacked cumulative ack first, then the data.
+                fw.deliver_event(self.SM2, "Ack", pkt["ack"])
+                fw.deliver_event(self.RECV, "DataPkt", pkt)
+            else:
+                if self.fastpaths:
+                    # Hand-optimized ack processing.
+                    self.counter.charge(self.cost.cycles_c_fast_ack, "fast_ack")
+                    if self.window.ack(pkt["ack"]):
+                        self._flush_window()
+                else:
+                    fw.deliver_event(self.SM2, "Ack", pkt["ack"])
+
+    # -- request pickup -------------------------------------------------------------------
+
+    def _pickup_next(self) -> None:
+        """Take the next queued request; the fast path is tried at
+        pickup time (the original checked its conditions whenever a
+        request was about to be processed)."""
+        if not self.request_queue:
+            return
+        if self.fastpaths and self._fastpath_applicable(self.request_queue[0]):
+            self._run_fastpath(self.request_queue.popleft())
+            return
+        if self.fastpaths:
+            self.fastpath_missed += 1
+        self.fw.deliver_event(self.SM1, "UserReq")
+
+    # -- the hand-optimized fast path (vmmcOrig only) ------------------------------------
+
+    def _fastpath_applicable(self, req: dict) -> bool:
+        return (
+            self.fw.is_state(self.SM1, "WaitReq")
+            and self.current_request is None
+            and not self.pending_packets
+            and not self.fastpath_in_flight
+            and self.window.open()
+            and self.nic.send_dma_free()
+            and (req["size"] <= self.cost.small_msg_inline_bytes
+                 or self.nic.host_dma_free())
+            and req["size"] <= self.cost.page_size
+        )
+
+    def _run_fastpath(self, req: dict) -> None:
+        self.fastpath_taken += 1
+        self.counter.charge(self.cost.cycles_c_fastpath, "fastpath")
+        self.msg_counter += 1
+        size = req["size"]
+        if size <= self.cost.small_msg_inline_bytes:
+            # Data is inline in the descriptor: straight onto the wire.
+            self._transmit(req["dest"], size, self.msg_counter, last=True)
+            self._pickup_next()
+            return
+        self.fastpath_in_flight = True
+        self._translate(req["vaddr"])  # table hit assumed on the fast path
+        self._actions.append(
+            FirmwareAction(
+                "host_dma", nbytes=size,
+                tag=("fastfetch", req["dest"], size, self.msg_counter),
+            )
+        )
+
+    def _fastpath_fetch_done(self, tag) -> None:
+        _kind, dest, size, msg_id = tag
+        self.counter.charge(self.cost.cycles_c_action, "fastpath")
+        self.fastpath_in_flight = False
+        self._transmit(dest, size, msg_id, last=True)
+        self._pickup_next()
+
+    # -- the hand-optimized receive path (vmmcOrig only) ---------------------------------
+
+    def _recv_fastpath_applicable(self) -> bool:
+        # Brittle like the original: only when the host DMA is free and
+        # the send side is not mid-request (global state inspection).
+        return (
+            self.nic.host_dma_free()
+            and self.current_request is None
+            and not self.fastpath_in_flight
+        )
+
+    def _recv_fast(self, pkt: dict) -> None:
+        self.fastpath_taken += 1
+        self.counter.charge(self.cost.cycles_c_recv_fastpath, "recv_fastpath")
+        released = self.window.ack(pkt["ack"])
+        if released:
+            self._flush_window()
+        self.recv_last_seq = max(self.recv_last_seq, pkt["seq"])
+        self._actions.append(
+            FirmwareAction(
+                "host_dma", nbytes=max(pkt["nbytes"], 1),
+                tag=("faststore", pkt["msg_id"], pkt["last"], pkt["nbytes"],
+                     pkt["src"]),
+            )
+        )
+        self.recv_unacked += 1
+        if pkt["last"] or self.recv_unacked >= ACK_THRESHOLD:
+            self._send_explicit_ack(pkt["src"])
+
+    def _recv_fast_store_done(self, tag) -> None:
+        _kind, msg_id, last, nbytes, _src = tag
+        self.counter.charge(self.cost.cycles_c_fast_completion, "recv_fastpath")
+        if last:
+            self._actions.append(
+                FirmwareAction("notify", payload={"msg_id": msg_id,
+                                                  "nbytes": nbytes})
+            )
+
+    # -- SM1: request processing --------------------------------------------------------
+
+    def _handle_req(self, _arg) -> None:
+        # handleReq: pull the next request, translate, start the fetch.
+        if not self.request_queue:
+            self.fw.set_state(self.SM1, "WaitReq")
+            return
+        req = self.request_queue.popleft()
+        self.current_request = req
+        self.msg_counter += 1
+        req["msg_id"] = self.msg_counter
+        self.chunks = self.cost.chunks_of(req["size"])
+        self.chunk_index = 0
+        if req["size"] <= self.cost.small_msg_inline_bytes:
+            # Inline data: no fetch DMA; hand straight to SM2.
+            self.fw.deliver_event(self.SM2, "PktReady",
+                                  (req["dest"], req["size"], req["msg_id"], True))
+            self._request_finished()
+            return
+        self._start_fetch()
+
+    def _start_fetch(self) -> None:
+        req = self.current_request
+        nbytes = self.chunks[self.chunk_index]
+        self._translate(req["vaddr"] + self.chunk_index * self.cost.page_size)
+        self._actions.append(
+            FirmwareAction("host_dma", nbytes=nbytes, tag=("fetch",))
+        )
+        self.fw.set_state(self.SM1, "WaitDMA")
+
+    def _translate(self, vaddr: int) -> int:
+        # translateAddr: a table lookup (§2.2).
+        self.counter.charge(self.cost.cycles_c_state_update, "translate")
+        page = vaddr - vaddr % self.cost.page_size
+        return self.page_table.get(page, page)
+
+    def _fetch_done(self, _tag) -> None:
+        req = self.current_request
+        nbytes = self.chunks[self.chunk_index]
+        last = self.chunk_index == len(self.chunks) - 1
+        self.fw.deliver_event(self.SM2, "PktReady",
+                              (req["dest"], nbytes, req["msg_id"], last))
+        self.chunk_index += 1
+        if last:
+            self._request_finished()
+        else:
+            self._start_fetch()
+
+    def _request_finished(self) -> None:
+        self.current_request = None
+        self.fw.set_state(self.SM1, "WaitReq")
+        self._pickup_next()
+
+    # -- SM2: network send + retransmission window -----------------------------------------
+
+    def _pkt_ready(self, pkt_info) -> None:
+        self.counter.charge(self.cost.cycles_c_retrans_bookkeeping, "retrans")
+        self.pending_packets.append(pkt_info)
+        self._flush_window()
+
+    def _ack(self, ackno: int) -> None:
+        released = self.window.ack(ackno)
+        if released:
+            self.counter.charge(self.cost.cycles_c_retrans_bookkeeping, "retrans")
+            self._flush_window()
+
+    def _flush_window(self) -> None:
+        while self.pending_packets and self.window.open():
+            dest, nbytes, msg_id, last = self.pending_packets.popleft()
+            self._transmit(dest, nbytes, msg_id, last)
+
+    def _transmit(self, dest: int, nbytes: int, msg_id: int, last: bool) -> None:
+        seq = self.window.take_seq()
+        self.counter.charge(self.cost.cycles_c_action, "send")
+        pkt = data_packet(self.node_id, dest, seq, self.recv_last_seq,
+                          nbytes, msg_id, last)
+        self._actions.append(FirmwareAction("net_send", payload=pkt, nbytes=nbytes))
+
+    # -- RECV: incoming data -------------------------------------------------------------
+
+    def _data_pkt(self, pkt: dict) -> None:
+        self.recv_last_seq = max(self.recv_last_seq, pkt["seq"])
+        self.counter.charge(self.cost.cycles_c_action, "recv")
+        self._actions.append(
+            FirmwareAction(
+                "host_dma", nbytes=max(pkt["nbytes"], 1),
+                tag=("store", pkt["msg_id"], pkt["last"], pkt["nbytes"]),
+            )
+        )
+        self.recv_unacked += 1
+        if pkt["last"] or self.recv_unacked >= ACK_THRESHOLD:
+            self._send_explicit_ack(pkt["src"])
+
+    def _send_explicit_ack(self, dest: int) -> None:
+        self.counter.charge(self.cost.cycles_c_action, "ack")
+        self.recv_unacked = 0
+        self._actions.append(
+            FirmwareAction(
+                "net_send",
+                payload=ack_packet(self.node_id, dest, self.recv_last_seq),
+                nbytes=0,
+            )
+        )
+
+    def _store_done(self, tag) -> None:
+        _kind, msg_id, last, nbytes = tag
+        if last:
+            self.counter.charge(self.cost.cycles_c_action, "notify")
+            self._actions.append(
+                FirmwareAction("notify", payload={"msg_id": msg_id,
+                                                  "nbytes": nbytes})
+            )

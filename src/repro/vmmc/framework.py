@@ -1,0 +1,81 @@
+"""The C-style event-driven state-machine framework of Appendix A.
+
+The baseline firmware is written against exactly the interface the
+paper's original VMMC implementation used::
+
+    setHandler(sm, state, event, handler)
+    setState(sm, state)
+    isState(sm, state)
+    deliverEvent(sm, event)
+
+Handlers are zero-argument callables that read and write *global*
+variables (module state on the framework object) — the style whose
+problems §2.2 catalogues: fragmented control flow, data passed through
+globals, blocking only by returning.
+
+Every ``deliverEvent`` charges handler-dispatch cycles to the
+firmware's cycle counter, so the structure itself carries the cost it
+had on the real card.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.timing import CostModel, CycleCounter
+
+
+class StateMachine:
+    """One named state machine: a current state and a handler table."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.state: str | None = None
+        self.handlers: dict[tuple[str, str], Callable[[object], None]] = {}
+
+    def __repr__(self) -> str:
+        return f"<SM {self.name} in {self.state}>"
+
+
+class EventFramework:
+    """The Appendix-A runtime: dispatch + cost accounting."""
+
+    def __init__(self, cost: CostModel, counter: CycleCounter):
+        self.cost = cost
+        self.counter = counter
+        self.machines: dict[str, StateMachine] = {}
+        self.dispatches = 0
+        self.dropped_events = 0
+
+    # -- the Appendix A API ------------------------------------------------------
+
+    def machine(self, name: str) -> StateMachine:
+        if name not in self.machines:
+            self.machines[name] = StateMachine(name)
+        return self.machines[name]
+
+    def set_handler(self, sm: StateMachine, state: str, event: str,
+                    handler: Callable[[object], None]) -> None:
+        sm.handlers[(state, event)] = handler
+
+    def set_state(self, sm: StateMachine, state: str) -> None:
+        self.counter.charge(self.cost.cycles_c_state_update, "state_update")
+        sm.state = state
+
+    def is_state(self, sm: StateMachine, state: str) -> bool:
+        return sm.state == state
+
+    def deliver_event(self, sm: StateMachine, event: str, arg=None) -> bool:
+        """Invoke the handler for (current state, event).
+
+        Returns False when no handler is registered — the real system
+        would lose the event (or crash); we count it.
+        """
+        handler = sm.handlers.get((sm.state, event))
+        self.dispatches += 1
+        self.counter.charge(self.cost.cycles_c_handler, "handler")
+        if handler is None:
+            self.dropped_events += 1
+            return False
+        handler(arg)
+        return True

@@ -1,0 +1,70 @@
+"""VMMC packet formats and protocol constants.
+
+Packets are dictionaries on the simulated wire (marshalling costs are
+charged in cycles by the firmware implementations; the paper's ESP
+firmware also left packet marshalling to its C helpers, §4.6).
+
+Data packets carry a piggyback cumulative acknowledgement; explicit
+ACK packets flow when there is no reverse traffic to piggyback on
+(the sliding-window protocol of §5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DATA = "data"
+ACK = "ack"
+
+# Explicit-ack coalescing: acknowledge after this many unacked data
+# packets (an explicit ack also goes out on the last chunk of every
+# message so blocked senders always make progress).
+ACK_THRESHOLD = 2
+
+
+def data_packet(src: int, dest: int, seq: int, ack: int, nbytes: int,
+                msg_id: int, last: bool) -> dict:
+    """A data chunk with piggybacked cumulative ack."""
+    return {
+        "type": DATA,
+        "src": src,
+        "dest": dest,
+        "seq": seq,
+        "ack": ack,
+        "nbytes": nbytes,
+        "msg_id": msg_id,
+        "last": last,
+    }
+
+
+def ack_packet(src: int, dest: int, ack: int) -> dict:
+    """An explicit cumulative acknowledgement (no payload)."""
+    return {"type": ACK, "src": src, "dest": dest, "ack": ack, "nbytes": 0}
+
+
+@dataclass
+class SendWindow:
+    """Sender-side sliding window state (go-back-N bookkeeping)."""
+
+    size: int
+    next_seq: int = 0
+    acked: int = -1  # highest cumulatively acknowledged seq
+
+    def open(self) -> bool:
+        return self.next_seq - self.acked - 1 < self.size
+
+    def in_flight(self) -> int:
+        return self.next_seq - self.acked - 1
+
+    def take_seq(self) -> int:
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+    def ack(self, ackno: int) -> int:
+        """Apply a cumulative ack; returns how many packets it released."""
+        if ackno <= self.acked:
+            return 0
+        released = min(ackno, self.next_seq - 1) - self.acked
+        self.acked = min(ackno, self.next_seq - 1)
+        return released

@@ -1,0 +1,186 @@
+"""The three microbenchmarks of Figure 5 (§6.2).
+
+* :func:`pingpong_latency` — Figure 5(a): one-way latency measured by
+  a pingpong application bouncing a message between two machines;
+* :func:`one_way_bandwidth` — Figure 5(b): one machine streams to the
+  other;
+* :func:`bidirectional_bandwidth` — Figure 5(c): both machines stream
+  simultaneously (total bandwidth).
+
+Each runs the same simulated platform (two hosts, two NICs, a wire)
+under any of the three firmware implementations: ``"esp"``
+(vmmcESP), ``"orig"`` (vmmcOrig), ``"orig_nofast"``
+(vmmcOrigNoFastPaths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.events import Simulator
+from repro.sim.host import Host
+from repro.sim.network import Wire
+from repro.sim.nic import NIC
+from repro.sim.timing import CostModel
+from repro.vmmc.baseline import VMMCBaselineFirmware
+from repro.vmmc.firmware_esp import VMMCEspFirmware
+
+IMPLEMENTATIONS = ("esp", "orig", "orig_nofast")
+
+
+def make_firmware(impl: str, cost: CostModel, node_id: int):
+    if impl == "esp":
+        return VMMCEspFirmware(cost, node_id)
+    if impl == "orig":
+        return VMMCBaselineFirmware(cost, node_id, fastpaths=True)
+    if impl == "orig_nofast":
+        return VMMCBaselineFirmware(cost, node_id, fastpaths=False)
+    raise ValueError(f"unknown implementation {impl!r} (use one of {IMPLEMENTATIONS})")
+
+
+@dataclass
+class Pair:
+    """Two machines joined by a wire, ready to run a workload."""
+
+    sim: Simulator
+    cost: CostModel
+    hosts: list[Host]
+    nics: list[NIC]
+    wire: Wire
+
+
+def build_pair(impl: str, cost: CostModel | None = None) -> Pair:
+    """Build the two-node platform under one firmware implementation."""
+    cost = cost or CostModel()
+    sim = Simulator()
+    wire = Wire(sim, cost)
+    nics, hosts = [], []
+    for side in (0, 1):
+        nic = NIC(sim, cost, side, make_firmware(impl, cost, side))
+        nic.wire = wire
+        wire.attach(side, nic)
+        host = Host(sim, cost, nic)
+        nics.append(nic)
+        hosts.append(host)
+    return Pair(sim, cost, hosts, nics, wire)
+
+
+@dataclass
+class BenchmarkResult:
+    """One benchmark point."""
+
+    impl: str
+    size: int
+    latency_us: float | None = None
+    bandwidth_mb_s: float | None = None
+    messages: int = 0
+    elapsed_us: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+
+def _install_translations(pair: Pair, size: int) -> None:
+    """Pre-install address translations for the buffers both sides use
+    (connection setup happens through the driver, §2.1; the benchmarks
+    measure steady state)."""
+    pages = max(1, (size + pair.cost.page_size - 1) // pair.cost.page_size)
+    for host in pair.hosts:
+        for page in range(pages):
+            host.update_translation(page * pair.cost.page_size,
+                                    0x100000 + page * pair.cost.page_size)
+    pair.sim.run_until(lambda: pair.sim.pending() == 0, max_events=100_000)
+
+
+def pingpong_latency(impl: str, size: int, rounds: int = 30,
+                     warmup: int = 5, cost: CostModel | None = None) -> BenchmarkResult:
+    """Figure 5(a): average one-way latency of ``size``-byte messages."""
+    pair = build_pair(impl, cost)
+    _install_translations(pair, size)
+    state = {"round": 0, "timestamps": [], "done": False}
+    total_rounds = rounds + warmup
+
+    def bounce(side_notified: int):
+        # The app on the notified side immediately sends back.
+        state["round"] += 1
+        state["timestamps"].append(pair.sim.now)
+        if state["round"] >= total_rounds:
+            state["done"] = True
+            return
+        sender = pair.hosts[side_notified]
+        pair.sim.schedule(
+            pair.cost.host_turnaround_us,
+            lambda: sender.send(1 - side_notified, 0, size),
+        )
+
+    pair.hosts[0].on_notify = lambda info: bounce(0)
+    pair.hosts[1].on_notify = lambda info: bounce(1)
+    start = pair.sim.now
+    state["timestamps"].append(start)
+    pair.hosts[0].send(1, 0, size)
+    pair.sim.run_until(lambda: state["done"], max_events=5_000_000)
+    stamps = state["timestamps"]
+    gaps = [b - a for a, b in zip(stamps, stamps[1:])][warmup:]
+    latency = sum(gaps) / len(gaps) - pair.cost.host_turnaround_us
+    return BenchmarkResult(
+        impl=impl, size=size, latency_us=latency,
+        messages=len(gaps), elapsed_us=pair.sim.now - start,
+        extra=_fw_stats(pair),
+    )
+
+
+def one_way_bandwidth(impl: str, size: int, messages: int = 40,
+                      cost: CostModel | None = None) -> BenchmarkResult:
+    """Figure 5(b): one machine continuously sends to the other."""
+    pair = build_pair(impl, cost)
+    _install_translations(pair, size)
+    received = {"count": 0}
+    pair.hosts[1].on_notify = lambda info: received.__setitem__(
+        "count", received["count"] + 1
+    )
+    start = pair.sim.now
+    for _ in range(messages):
+        pair.hosts[0].send(1, 0, size)
+    pair.sim.run_until(lambda: received["count"] >= messages,
+                       max_events=20_000_000)
+    elapsed = pair.sim.now - start
+    bandwidth = (messages * size) / elapsed  # bytes/µs == MB/s
+    return BenchmarkResult(
+        impl=impl, size=size, bandwidth_mb_s=bandwidth,
+        messages=messages, elapsed_us=elapsed, extra=_fw_stats(pair),
+    )
+
+
+def bidirectional_bandwidth(impl: str, size: int, messages: int = 40,
+                            cost: CostModel | None = None) -> BenchmarkResult:
+    """Figure 5(c): both machines stream simultaneously; reported value
+    is the total (both directions) bandwidth."""
+    pair = build_pair(impl, cost)
+    _install_translations(pair, size)
+    received = {0: 0, 1: 0}
+    pair.hosts[0].on_notify = lambda info: received.__setitem__(0, received[0] + 1)
+    pair.hosts[1].on_notify = lambda info: received.__setitem__(1, received[1] + 1)
+    start = pair.sim.now
+    for _ in range(messages):
+        pair.hosts[0].send(1, 0, size)
+        pair.hosts[1].send(0, 0, size)
+    pair.sim.run_until(
+        lambda: received[0] >= messages and received[1] >= messages,
+        max_events=40_000_000,
+    )
+    elapsed = pair.sim.now - start
+    bandwidth = (2 * messages * size) / elapsed
+    return BenchmarkResult(
+        impl=impl, size=size, bandwidth_mb_s=bandwidth,
+        messages=2 * messages, elapsed_us=elapsed, extra=_fw_stats(pair),
+    )
+
+
+def _fw_stats(pair: Pair) -> dict:
+    extra = {}
+    for i, nic in enumerate(pair.nics):
+        fw = nic.firmware
+        extra[f"nic{i}_cycles"] = nic.stats.cycles
+        taken = getattr(fw, "fastpath_taken", None)
+        if taken is not None:
+            extra[f"nic{i}_fastpath_taken"] = taken
+            extra[f"nic{i}_fastpath_missed"] = fw.fastpath_missed
+    return extra

@@ -1,0 +1,14 @@
+"""Shared test configuration.
+
+Hypothesis runs derandomized so the suite is deterministic run-to-run
+(the property tests still cover the full shrunk example corpus)."""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "deterministic",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("deterministic")

@@ -1,0 +1,136 @@
+"""Unit tests for the allocation-avoidance optimizations (§4.2, §6.1):
+message-record fusion conditions and cast elision."""
+
+from repro.api import compile_source_with_stats
+from repro.ir import OptLevel
+from repro.ir import nodes as ir
+
+
+def fused_channels(src):
+    program, stats, _ = compile_source_with_stats(src)
+    fused = set()
+    for proc in program.processes:
+        for instr in proc.instrs:
+            if isinstance(instr, ir.Out) and instr.fused:
+                fused.add(instr.channel)
+            elif isinstance(instr, ir.Alt):
+                for arm in instr.arms:
+                    if arm.kind == "out" and arm.fused:
+                        fused.add(arm.channel)
+    return fused, stats
+
+
+def test_fusion_when_all_receivers_destructure():
+    src = """
+channel pairC: record of { a: int, b: int }
+channel outC: int
+external interface drain(in outC) { D($v) };
+process p { out( pairC, { 1, 2 }); }
+process q { in( pairC, { $a, $b }); out( outC, a + b); }
+"""
+    fused, stats = fused_channels(src)
+    assert "pairC" in fused
+    assert stats.outs_fused == 1
+
+
+def test_no_fusion_when_receiver_binds_whole_record():
+    src = """
+channel pairC: record of { a: int, b: int }
+channel outC: int
+external interface drain(in outC) { D($v) };
+process p { out( pairC, { 1, 2 }); }
+process q { in( pairC, $whole); out( outC, whole.a); unlink( whole); }
+"""
+    fused, _ = fused_channels(src)
+    assert "pairC" not in fused
+
+
+def test_no_fusion_when_some_sender_passes_a_variable():
+    # All-or-nothing per channel: a non-literal send site keeps the
+    # whole channel unfused so receivers see one message form.
+    src = """
+type pairT = record of { a: int, b: int }
+channel pairC: pairT
+channel outC: int
+external interface drain(in outC) { D($v) };
+process p1 { out( pairC, { 1, 2 }); }
+process p2 { $m: pairT = { 3, 4 }; out( pairC, m); unlink( m); }
+process q {
+    $n = 0;
+    while (n < 2) { in( pairC, { $a, $b }); out( outC, a + b); n = n + 1; }
+}
+"""
+    fused, _ = fused_channels(src)
+    assert "pairC" not in fused
+
+
+def test_no_fusion_on_external_channels():
+    src = """
+channel pairC: record of { a: int, b: int }
+external interface drain(in pairC) { D($a, $b) };
+process p { out( pairC, { 1, 2 }); }
+"""
+    fused, _ = fused_channels(src)
+    assert "pairC" not in fused
+
+
+def test_no_fusion_for_mutable_literal():
+    # (Mutable data cannot cross channels anyway — the checker rejects
+    # it — so the fusion code never sees it; this documents the guard.)
+    src = """
+channel pairC: record of { a: int, b: int }
+channel outC: int
+external interface drain(in outC) { D($v) };
+process p { out( pairC, { 5, 6 }); }
+process q { in( pairC, { $a, $b }); out( outC, a * b); }
+"""
+    fused, stats = fused_channels(src)
+    assert "pairC" in fused  # the immutable literal fuses normally
+
+
+def test_cast_elision_marks_dead_source():
+    src = """
+channel outC: int
+external interface drain(in outC) { D($v) };
+process p {
+    $m = #{ 2 -> 1 };
+    $frozen = cast(m);
+    out( outC, frozen[0]);
+    unlink( frozen);
+}
+"""
+    _, stats, _ = compile_source_with_stats(src)
+    assert stats.casts_elided == 1
+
+
+def test_cast_not_elided_when_source_live():
+    src = """
+channel outC: record of { a: int, b: int }
+external interface drain(in outC) { D($a, $b) };
+process p {
+    $m = #{ 2 -> 1 };
+    $frozen = cast(m);
+    m[0] = 9;
+    out( outC, { m[0], frozen[0] });
+    unlink( m);
+    unlink( frozen);
+}
+"""
+    _, stats, _ = compile_source_with_stats(src)
+    assert stats.casts_elided == 0
+
+
+def test_opt_level_none_fuses_nothing():
+    src = """
+channel pairC: record of { a: int, b: int }
+channel outC: int
+external interface drain(in outC) { D($v) };
+process p { out( pairC, { 1, 2 }); }
+process q { in( pairC, { $a, $b }); out( outC, a + b); }
+"""
+    program, stats, _ = compile_source_with_stats(src, opt_level=OptLevel.NONE)
+    assert stats.outs_fused == 0
+    for proc in program.processes:
+        for instr in proc.instrs:
+            if isinstance(instr, ir.Out):
+                assert not instr.fused

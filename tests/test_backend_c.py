@@ -1,0 +1,318 @@
+"""Tests for the C backend: structural checks plus gcc compile-and-run
+integration (the generated firmware must behave like the interpreter)."""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro import compile_source
+from repro.backends.c import generate_c
+
+GCC = shutil.which("gcc") or shutil.which("cc")
+
+ADD5 = """
+channel inC: int
+channel outC: int
+external interface feed(out inC) { Feed($v) };
+external interface drain(in outC) { Drain($v) };
+process add5 { while (true) { in( inC, $i); out( outC, i + 5); } }
+"""
+
+
+def gen(src, **kw):
+    return generate_c(compile_source(src), **kw)
+
+
+# -- structural properties ------------------------------------------------------
+
+
+def test_generated_code_has_runtime_and_step_functions():
+    code = gen(ADD5)
+    assert "esp_alloc" in code
+    assert "esp_unlink" in code
+    assert "static void esp_step_0(void)" in code
+    assert "esp_main_loop" in code
+
+
+def test_context_switch_is_pc_only():
+    # The step function's entry dispatch restores only a saved pc.
+    code = gen(ADD5)
+    assert "switch (self->pc)" in code
+    assert "goto R1;" in code
+
+
+def test_bitmask_blocking_present():
+    code = gen(ADD5)
+    assert "wait_mask" in code
+    assert "esp_chan_bit" in code
+
+
+def test_extern_interface_functions_declared():
+    code = gen(ADD5)
+    assert "extern int feedIsReady(void);" in code
+    assert "extern void feedFeed(esp_val *a0);" in code
+    assert "extern void drainDrain(esp_val a0);" in code
+
+
+def test_locals_live_in_static_region():
+    code = gen(ADD5)
+    assert "static struct" in code  # per-process static locals (§4.3)
+
+
+def test_standalone_main_optional():
+    assert "int main(void)" not in gen(ADD5)
+    assert "int main(void)" in gen(ADD5, emit_main=True)
+
+
+def test_fused_channel_stages_components():
+    src = """
+channel pairC: record of { a: int, b: int }
+channel outC: int
+external interface drain(in outC) { D($v) };
+process p { out( pairC, { 1, 2 }); }
+process q { in( pairC, { $a, $b }); out( outC, a + b); }
+"""
+    code = gen(src)
+    assert "self->pending_n = 2;" in code  # components, no record alloc
+
+
+# -- compile-and-run integration ---------------------------------------------------
+
+
+def compile_and_run(tmp_path, program_c, harness_c, runs=20):
+    (tmp_path / "pgm.c").write_text(program_c)
+    (tmp_path / "harness.c").write_text(harness_c)
+    binary = tmp_path / "test"
+    subprocess.run(
+        [GCC, "-O1", "-Wall", "-Wno-unused", "-o", str(binary),
+         str(tmp_path / "pgm.c"), str(tmp_path / "harness.c")],
+        check=True, capture_output=True, text=True,
+    )
+    result = subprocess.run([str(binary)], capture_output=True, text=True,
+                            timeout=30)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+HARNESS_TEMPLATE = """
+#include <stdio.h>
+#include <stdint.h>
+typedef intptr_t esp_val;
+%s
+void esp_init(void);
+void esp_run(int max_polls);
+int main(void) {
+    esp_init();
+    for (int i = 0; i < %d; i++) esp_run(-1);
+    return 0;
+}
+"""
+
+
+@pytest.mark.skipif(GCC is None, reason="no C compiler available")
+def test_add5_compiles_and_runs(tmp_path):
+    harness = HARNESS_TEMPLATE % (
+        """
+static int inputs[] = {1, 2, 37};
+static int next_input = 0;
+int feedIsReady(void) { return next_input < 3 ? 1 : 0; }
+void feedFeed(esp_val *a0) { *a0 = inputs[next_input++]; }
+int drainIsReady(void) { return 1; }
+void drainDrain(esp_val a0) { printf("got %ld\\n", (long)a0); }
+""",
+        10,
+    )
+    stdout = compile_and_run(tmp_path, gen(ADD5), harness)
+    assert stdout.splitlines() == ["got 6", "got 7", "got 42"]
+
+
+DISPATCH = """
+type sendT = record of { dest: int, size: int }
+type userT = union of { send: sendT, update: int }
+channel userC: userT
+channel sendOutC: int
+channel updOutC: int
+external interface user(out userC) {
+    Send({ send |> { $dest, $size }}),
+    Update({ update |> $v })
+};
+external interface sendDrain(in sendOutC) { S($v) };
+external interface updDrain(in updOutC) { U($v) };
+process sender { while (true) { in( userC, { send |> { $d, $s }}); out( sendOutC, d + s); } }
+process updater { while (true) { in( userC, { update |> $v }); out( updOutC, v * 2); } }
+"""
+
+
+@pytest.mark.skipif(GCC is None, reason="no C compiler available")
+def test_union_dispatch_in_c(tmp_path):
+    harness = HARNESS_TEMPLATE % (
+        """
+/* message stream: Update(7), Send(1,2), Update(9) */
+static int step = 0;
+int userIsReady(void) {
+    if (step == 0 || step == 2) return 2;   /* Update is entry #2 */
+    if (step == 1) return 1;                /* Send is entry #1 */
+    return 0;
+}
+void userSend(esp_val *dest, esp_val *size) { *dest = 1; *size = 2; step++; }
+void userUpdate(esp_val *v) { *v = (step == 0) ? 7 : 9; step++; }
+int sendDrainIsReady(void) { return 1; }
+void sendDrainS(esp_val v) { printf("S %ld\\n", (long)v); }
+int updDrainIsReady(void) { return 1; }
+void updDrainU(esp_val v) { printf("U %ld\\n", (long)v); }
+""",
+        20,
+    )
+    stdout = compile_and_run(tmp_path, gen(DISPATCH), harness)
+    lines = stdout.splitlines()
+    # Cross-stream interleaving is scheduling-dependent; per-stream
+    # order and the full multiset are not.
+    assert sorted(lines) == ["S 3", "U 14", "U 18"]
+    assert lines.index("U 14") < lines.index("U 18")
+
+
+FIFO = """
+const N = 4;
+channel inC: int
+channel outC: int
+external interface feed(out inC) { F($v) };
+external interface drain(in outC) { D($v) };
+process fifo {
+    $q: #array of int = #{ N -> 0 };
+    $hd = 0; $tl = 0; $count = 0;
+    while {
+        alt {
+            case( count < N, in( inC, q[tl % N])) { tl = tl + 1; count = count + 1; }
+            case( count > 0, out( outC, q[hd % N])) { hd = hd + 1; count = count - 1; }
+        }
+    }
+}
+"""
+
+
+@pytest.mark.skipif(GCC is None, reason="no C compiler available")
+def test_fifo_alt_in_c(tmp_path):
+    harness = HARNESS_TEMPLATE % (
+        """
+static int fed = 0;
+int feedIsReady(void) { return fed < 10 ? 1 : 0; }
+void feedF(esp_val *v) { *v = fed++; }
+int drainIsReady(void) { return 1; }
+void drainD(esp_val v) { printf("%ld\\n", (long)v); }
+""",
+        60,
+    )
+    stdout = compile_and_run(tmp_path, gen(FIFO), harness)
+    assert [int(x) for x in stdout.split()] == list(range(10))
+
+
+REFCOUNT = """
+type dataT = array of int
+channel dataC: dataT
+channel doneC: int
+external interface drain(in doneC) { D($v) };
+process producer {
+    $i = 0;
+    while (i < 50) {
+        $d: dataT = { 8 -> i };
+        out( dataC, d);
+        unlink( d);
+        i = i + 1;
+    }
+    out( doneC, i);
+}
+process consumer { while (true) { in( dataC, $x); unlink( x); } }
+"""
+
+
+@pytest.mark.skipif(GCC is None, reason="no C compiler available")
+def test_refcounts_balance_in_c(tmp_path):
+    # esp_live_objects must come back to zero after the run; we print
+    # it from the harness by linking against the generated globals.
+    harness = HARNESS_TEMPLATE % (
+        """
+int drainIsReady(void) { return 1; }
+static long done_value = -1;
+void drainD(esp_val v) { done_value = v; }
+extern long esp_live_objects_probe(void);
+""",
+        60,
+    )
+    harness = harness.replace(
+        "return 0;",
+        'printf("done %ld live %ld\\n", done_value, esp_live_objects_probe());\n'
+        "    return 0;",
+    )
+    program = gen(REFCOUNT) + (
+        "\nlong esp_live_objects_probe(void) { return esp_live_objects; }\n"
+    )
+    stdout = compile_and_run(tmp_path, program, harness)
+    assert stdout.strip() == "done 50 live 0"
+
+
+@pytest.mark.skipif(GCC is None, reason="no C compiler available")
+def test_pid_reply_routing_in_c(tmp_path):
+    src = """
+channel reqC: record of { ret: int, v: int }
+channel repC: record of { ret: int, v: int }
+channel outC: record of { who: int, v: int }
+external interface drain(in outC) { D($who, $v) };
+process server { while (true) { in( reqC, { $ret, $v }); out( repC, { ret, v * 10 }); } }
+process a { out( reqC, { @, 1 }); in( repC, { @, $r }); out( outC, { @, r }); }
+process b { out( reqC, { @, 2 }); in( repC, { @, $r }); out( outC, { @, r }); }
+"""
+    harness = HARNESS_TEMPLATE % (
+        """
+int drainIsReady(void) { return 1; }
+void drainD(esp_val who, esp_val v) { printf("%ld:%ld\\n", (long)who, (long)v); }
+""",
+        40,
+    )
+    stdout = compile_and_run(tmp_path, gen(src), harness)
+    got = sorted(stdout.split())
+    assert got == sorted(["1:10", "2:20"])
+
+
+@pytest.mark.skipif(GCC is None, reason="no C compiler available")
+def test_vmmc_firmware_compiles_as_c(tmp_path):
+    # The whole VMMC ESP firmware must generate valid C (the host-side
+    # interface functions stay extern, so compile to an object file).
+    from repro.vmmc.firmware_esp import compile_vmmc_esp
+
+    code = generate_c(compile_vmmc_esp())
+    path = tmp_path / "vmmc.c"
+    path.write_text(code)
+    subprocess.run(
+        [GCC, "-O1", "-Wall", "-Wno-unused", "-c", str(path),
+         "-o", str(tmp_path / "vmmc.o")],
+        check=True, capture_output=True, text=True,
+    )
+    assert (tmp_path / "vmmc.o").exists()
+
+
+def test_vmmc_firmware_emits_promela():
+    from repro.backends.spin import generate_promela
+    from repro.lang.program import frontend
+    from repro.vmmc.firmware_esp import VMMC_ESP_SOURCE
+
+    spec = generate_promela(frontend(VMMC_ESP_SOURCE))
+    for process in ("pageTable", "sm1", "sender", "receiver"):
+        assert f"active proctype {process}()" in spec
+    assert "chan netInC = [0] of" in spec
+
+
+@pytest.mark.skipif(GCC is None, reason="no C compiler available")
+def test_nested_alt_retransmission_compiles(tmp_path):
+    # The retransmission harness nests an alt inside an alt case body —
+    # the deepest control-flow shape the paper's programs use.
+    from repro.vmmc.retransmission import protocol_source
+
+    code = generate_c(compile_source(protocol_source()))
+    path = tmp_path / "retrans.c"
+    path.write_text(code)
+    subprocess.run(
+        [GCC, "-O1", "-Wall", "-Wno-unused", "-c", str(path),
+         "-o", str(tmp_path / "retrans.o")],
+        check=True, capture_output=True, text=True,
+    )

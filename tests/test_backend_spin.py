@@ -1,0 +1,146 @@
+"""Tests for the Promela (SPIN) backend — structural checks on the
+generated specification (§5.2); SPIN itself is not available offline."""
+
+import pytest
+
+from repro.lang.program import frontend
+from repro.backends.spin import generate_promela
+
+SRC = """
+type sendT = record of { dest: int, vAddr: int, size: int}
+type userT = union of { send: sendT, update: int }
+const TABLE_SIZE = 4;
+channel userC: userT
+channel tableC: record of { ret: int, v: int }
+external interface user(out userC) {
+    Send({ send |> { $d, $v, $s }}),
+    Update({ update |> $u })
+};
+process pageTable {
+    $table: #array of int = #{ TABLE_SIZE -> 0, ... };
+    while (true) {
+        alt {
+            case( in( tableC, { $ret, $v })) { table[v % TABLE_SIZE] = ret; }
+            case( in( userC, { update |> $u })) { print(u); }
+        }
+    }
+}
+process sm1 {
+    while (true) {
+        in( userC, { send |> { $d, $v, $s }});
+        out( tableC, { @, v });
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return generate_promela(frontend(SRC))
+
+
+def test_rendezvous_channels(spec):
+    assert "chan userC = [0] of" in spec
+    assert "chan tableC = [0] of" in spec
+
+
+def test_object_pools_with_bounded_ids(spec):
+    # Bounded objectId tables double as leak detectors (§5.2).
+    assert "#define MAX_sendT" in spec
+    assert "sendT_rc[" in spec
+    assert "objectId exhaustion = leak" in spec
+
+
+def test_liveness_assertions_before_access(spec):
+    assert "live check" in spec
+    assert "double free" in spec
+
+
+def test_refcount_inline_operations(spec):
+    assert "inline sendT_link(id)" in spec
+    assert "inline sendT_unlink(id)" in spec
+
+
+def test_processes_become_proctypes(spec):
+    assert "active proctype pageTable()" in spec
+    assert "active proctype sm1()" in spec
+
+
+def test_union_dispatch_uses_eval(spec):
+    # SPIN's rendezvous matching implements ESP dispatch: the union tag
+    # becomes an eval() receive argument.
+    assert "eval(0)" in spec or "eval(1)" in spec
+
+
+def test_pid_constraint_becomes_eval(spec):
+    # `{ @, v }` sends pid 1; nothing receives with eval here, but the
+    # send side must carry the literal pid.
+    assert "tableC ! 1, v_1" in spec
+
+
+def test_consts_become_defines(spec):
+    assert "#define TABLE_SIZE 4" in spec
+
+
+def test_interface_macros_for_test_spin(spec):
+    assert "inline user_Send(d, v, s)" in spec
+    assert "inline user_Update(u)" in spec
+    # The Send macro allocates the record and sends the objectId.
+    assert "sendT_alloc" in spec
+
+
+def test_alt_becomes_if_with_channel_guards(spec):
+    assert ":: atomic {" in spec
+    assert "fi;" in spec
+
+
+def test_hidden_temps_do_not_inflate_state(spec):
+    assert "hidden int" in spec
+
+
+def test_multiple_instances_mode():
+    spec2 = generate_promela(frontend(SRC), instances=2)
+    assert "#define INST 2" in spec2
+    assert "chan userC[INST]" in spec2 or "chan userC" in spec2
+    assert "proctype pageTable(int iid)" in spec2
+    assert "init {" in spec2
+    assert "run pageTable(i);" in spec2
+
+
+def test_translation_is_pre_optimization():
+    # §5.2: translation happens right after type checking, so the spec
+    # reflects source structure — the dead variable must still appear.
+    src = """
+channel c: int
+process p { $dead = 41; out( c, dead + 1); }
+process q { in( c, $x); print(x); }
+"""
+    spec = generate_promela(frontend(src))
+    assert "dead_0" in spec
+
+
+def test_link_unlink_translate():
+    src = """
+type dataT = array of int
+channel c: dataT
+process p { $d: dataT = { 2 -> 0 }; out( c, d); unlink( d); }
+process q { in( c, $x); link( x); unlink( x); unlink( x); }
+"""
+    spec = generate_promela(frontend(src))
+    assert "_unlink(" in spec
+    assert "_link(" in spec
+
+
+def test_assert_statement_translates():
+    src = """
+channel c: int
+process p { $x = 1; assert(x > 0); out( c, x); }
+process q { in( c, $y); print(y); }
+"""
+    spec = generate_promela(frontend(src))
+    assert "assert((x_0 > 0));" in spec
+
+
+def test_array_fill_emits_loop():
+    spec = generate_promela(frontend(SRC))
+    assert ".len = TABLE_SIZE;" in spec

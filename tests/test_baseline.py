@@ -1,0 +1,153 @@
+"""Unit tests for the baseline firmware (Appendix-A framework and
+vmmcOrig's fast-path conditions)."""
+
+import pytest
+
+from repro.sim import CostModel, Simulator, Wire
+from repro.sim.host import Host
+from repro.sim.nic import NIC
+from repro.sim.timing import CycleCounter
+from repro.vmmc.baseline import VMMCBaselineFirmware
+from repro.vmmc.framework import EventFramework
+
+
+# -- the Appendix-A framework ---------------------------------------------------------
+
+
+def make_framework():
+    counter = CycleCounter()
+    return EventFramework(CostModel(), counter), counter
+
+
+def test_handler_dispatch_and_state():
+    fw, counter = make_framework()
+    sm = fw.machine("SM1")
+    log = []
+    fw.set_handler(sm, "WaitReq", "UserReq", lambda arg: log.append(arg))
+    fw.set_state(sm, "WaitReq")
+    assert fw.is_state(sm, "WaitReq")
+    assert fw.deliver_event(sm, "UserReq", 42)
+    assert log == [42]
+    assert counter.cycles > 0
+
+
+def test_unhandled_event_is_dropped_and_counted():
+    fw, _ = make_framework()
+    sm = fw.machine("SM1")
+    fw.set_state(sm, "WaitReq")
+    assert not fw.deliver_event(sm, "Bogus")
+    assert fw.dropped_events == 1
+
+
+def test_handlers_are_per_state():
+    # The §2.2 complaint in miniature: the same event needs a handler
+    # per state, and the wrong state silently loses it.
+    fw, _ = make_framework()
+    sm = fw.machine("SM1")
+    hits = []
+    fw.set_handler(sm, "A", "Go", lambda _: hits.append("a"))
+    fw.set_handler(sm, "B", "Go", lambda _: hits.append("b"))
+    fw.set_state(sm, "B")
+    fw.deliver_event(sm, "Go")
+    assert hits == ["b"]
+
+
+# -- fast-path conditions ----------------------------------------------------------------
+
+
+def make_firmware(fastpaths=True):
+    sim = Simulator()
+    cost = CostModel()
+    fw = VMMCBaselineFirmware(cost, node_id=0, fastpaths=fastpaths)
+    nic = NIC(sim, cost, 0, fw)
+    wire = Wire(sim, cost)
+    wire.attach(0, nic)
+
+    class _Peer:
+        def packet_arrived(self, packet):
+            pass
+
+    wire.attach(1, _Peer())
+    nic.wire = wire
+    Host(sim, cost, nic)
+    return sim, fw, nic
+
+
+def test_fastpath_applies_to_idle_small_send():
+    sim, fw, nic = make_firmware()
+    assert fw._fastpath_applicable({"size": 100, "dest": 1, "vaddr": 0})
+
+
+def test_fastpath_refused_for_multi_page_send():
+    sim, fw, nic = make_firmware()
+    assert not fw._fastpath_applicable({"size": 8192, "dest": 1, "vaddr": 0})
+
+
+def test_fastpath_refused_when_window_closed():
+    sim, fw, nic = make_firmware()
+    for _ in range(fw.cost.window_size):
+        fw.window.take_seq()
+    assert not fw._fastpath_applicable({"size": 100, "dest": 1, "vaddr": 0})
+
+
+def test_fastpath_refused_when_request_in_flight():
+    sim, fw, nic = make_firmware()
+    fw.fastpath_in_flight = True
+    assert not fw._fastpath_applicable({"size": 100, "dest": 1, "vaddr": 0})
+
+
+def test_fastpath_refused_when_send_dma_busy():
+    sim, fw, nic = make_firmware()
+    nic.dma_send.busy_until = sim.now + 100.0
+    assert not fw._fastpath_applicable({"size": 100, "dest": 1, "vaddr": 0})
+
+
+def test_nofastpaths_variant_never_takes_it():
+    sim, fw, nic = make_firmware(fastpaths=False)
+    from repro.sim.nic import FirmwareInput
+
+    cycles, actions = fw.step(
+        [FirmwareInput("host_req", {"kind": "send", "dest": 1, "vaddr": 0,
+                                    "size": 4})]
+    )
+    assert fw.fastpath_taken == 0
+    # The slow path still transmits the inline message.
+    assert any(a.kind == "net_send" for a in actions)
+
+
+def test_fastpath_counts_and_charges_less():
+    from repro.sim.nic import FirmwareInput
+
+    results = {}
+    for enabled in (True, False):
+        sim, fw, nic = make_firmware(fastpaths=enabled)
+        cycles, actions = fw.step(
+            [FirmwareInput("host_req", {"kind": "send", "dest": 1, "vaddr": 0,
+                                        "size": 4})]
+        )
+        results[enabled] = cycles
+        assert any(a.kind == "net_send" for a in actions)
+    assert results[True] < results[False]
+
+
+def test_update_request_writes_page_table():
+    from repro.sim.nic import FirmwareInput
+
+    sim, fw, nic = make_firmware()
+    fw.step([FirmwareInput("host_req", {"kind": "update", "vaddr": 0x2000,
+                                        "paddr": 0x9000})])
+    assert fw.page_table[0x2000] == 0x9000
+
+
+def test_piggyback_ack_releases_window():
+    from repro.sim.nic import FirmwareInput
+    from repro.vmmc.packets import data_packet
+
+    sim, fw, nic = make_firmware()
+    fw.window.take_seq()
+    fw.window.take_seq()
+    assert fw.window.in_flight() == 2
+    pkt = data_packet(src=1, dest=0, seq=0, ack=1, nbytes=8, msg_id=1,
+                      last=True)
+    fw.step([FirmwareInput("packet", pkt)])
+    assert fw.window.in_flight() == 0

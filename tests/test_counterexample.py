@@ -1,0 +1,50 @@
+"""Tests for counterexample formatting and violation grouping."""
+
+from repro.verify import format_trace, report, shortest
+from repro.verify.properties import Violation
+
+
+def make(kind, message, steps):
+    return Violation(kind, message, [f"step-{i}" for i in range(steps)], steps)
+
+
+def test_format_trace_numbers_steps():
+    v = make("assertion", "x exploded", 3)
+    text = format_trace(v)
+    assert "assertion — x exploded" in text
+    assert "step   1: step-0" in text
+    assert "=> x exploded" in text
+
+
+def test_format_trace_empty():
+    v = Violation("deadlock", "stuck", [])
+    text = format_trace(v)
+    assert "deadlock — stuck" in text
+
+
+def test_shortest_picks_minimal_trace():
+    violations = [make("memory", "long", 9), make("memory", "short", 2),
+                  make("assertion", "mid", 5)]
+    assert shortest(violations).message == "short"
+    assert shortest([]) is None
+
+
+def test_report_groups_by_kind():
+    violations = [make("memory", "a", 1), make("memory", "b", 2),
+                  make("deadlock", "c", 3)]
+    text = report(violations)
+    assert "3 violation(s)" in text
+    assert "memory: 2" in text
+    assert "deadlock: 1" in text
+    assert "shortest counterexample" in text
+
+
+def test_report_no_violations():
+    assert report([]) == "no violations found"
+
+
+def test_violation_str_includes_trace():
+    v = make("runtime", "boom", 2)
+    text = str(v)
+    assert "[runtime] boom" in text
+    assert "1. step-0" in text

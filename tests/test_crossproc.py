@@ -1,0 +1,188 @@
+"""Tests for cross-process constant propagation (the §6.2 future-work
+data-flow analysis extended across processes)."""
+
+from repro import (
+    CollectorReader,
+    Machine,
+    OptLevel,
+    QueueWriter,
+    Scheduler,
+    compile_source,
+)
+from repro.api import compile_source_with_stats
+from repro.ir import nodes as ir
+from repro.ir.crossproc import analyze_cross_process_constants
+from repro.ir.lower import lower
+from repro.lang.program import frontend
+from repro.lang import ast
+
+
+def analyze(src):
+    program = lower(frontend(src))
+    return program, analyze_cross_process_constants(program)
+
+
+BASIC = """
+channel cfgC: record of { mode: int, value: int }
+channel outC: int
+external interface drain(in outC) { D($v) };
+process sender {
+    $i = 0;
+    while (i < 3) { out( cfgC, { 7, i }); i = i + 1; }
+}
+process receiver {
+    while (true) {
+        in( cfgC, { $mode, $value });
+        out( outC, mode * 100 + value);
+    }
+}
+"""
+
+
+def test_constant_component_detected():
+    program, stats = analyze(BASIC)
+    assert stats.constant_components == 1   # `mode` is always 7
+    assert stats.binders_propagated == 1
+    facts = stats.facts["receiver"]
+    assert list(facts.values()) == [7]
+
+
+def test_varying_component_not_propagated():
+    program, stats = analyze(BASIC)
+    facts = stats.facts["receiver"]
+    assert all("value" not in name for name in facts)
+
+
+def test_propagated_constant_is_folded_into_receiver():
+    program, stats, _ = compile_source_with_stats(BASIC)
+    assert stats.crossproc_binders == 1
+    receiver = program.process("receiver")
+    # `mode * 100` folded to 700: the Out expression adds 700 directly.
+    out = next(i for i in receiver.instrs if isinstance(i, ir.Out))
+    from repro.ir.liveness import expr_uses
+
+    uses = set()
+    expr_uses(out.expr, uses)
+    assert not any(u.startswith("mode") for u in uses)
+
+
+def test_behaviour_preserved():
+    outputs = {}
+    for level in (OptLevel.NONE, OptLevel.FULL):
+        drain = CollectorReader(["D"])
+        machine = Machine(compile_source(BASIC, opt_level=level),
+                          externals={"outC": drain})
+        Scheduler(machine).run()
+        outputs[level] = drain.received
+    assert outputs[OptLevel.NONE] == outputs[OptLevel.FULL]
+    assert [args[0] for _, args in outputs[OptLevel.FULL]] == [700, 701, 702]
+
+
+def test_disagreement_between_senders_blocks_propagation():
+    src = """
+channel cfgC: record of { mode: int, value: int }
+channel outC: int
+external interface drain(in outC) { D($v) };
+process s1 { out( cfgC, { 7, 1 }); }
+process s2 { out( cfgC, { 8, 2 }); }
+process receiver {
+    $n = 0;
+    while (n < 2) { in( cfgC, { $mode, $value }); out( outC, mode); n = n + 1; }
+}
+"""
+    _, stats = analyze(src)
+    assert stats.binders_propagated == 0
+
+
+def test_external_writer_blocks_propagation():
+    src = """
+channel cfgC: record of { mode: int, value: int }
+channel outC: int
+external interface feed(out cfgC) { F($mode, $value) };
+external interface drain(in outC) { D($v) };
+process receiver {
+    while (true) { in( cfgC, { $mode, $value }); out( outC, mode + value); }
+}
+"""
+    _, stats = analyze(src)
+    assert stats.binders_propagated == 0
+
+
+def test_reassigned_binder_blocks_propagation():
+    src = """
+channel cfgC: record of { mode: int, value: int }
+channel outC: int
+external interface drain(in outC) { D($v) };
+process sender { out( cfgC, { 7, 1 }); }
+process receiver {
+    in( cfgC, { $mode, $value });
+    mode = mode + value;
+    out( outC, mode);
+}
+"""
+    _, stats = analyze(src)
+    facts = stats.facts["receiver"]
+    # `mode` is reassigned, so it is excluded; `value` (never written
+    # again) is still a sound constant.
+    assert not any(name.startswith("mode") for name in facts)
+    assert stats.binders_propagated == 1
+
+
+def test_scalar_channel_constant():
+    src = """
+channel sigC: int
+channel outC: int
+external interface drain(in outC) { D($v) };
+process sender { $i = 0; while (i < 3) { out( sigC, 5); i = i + 1; } }
+process receiver { while (true) { in( sigC, $s); out( outC, s + 1); } }
+"""
+    _, stats = analyze(src)
+    assert stats.binders_propagated == 1
+    program, pstats, _ = compile_source_with_stats(src)
+    drain = CollectorReader(["D"])
+    machine = Machine(program, externals={"outC": drain})
+    Scheduler(machine).run()
+    assert [args[0] for _, args in drain.received] == [6, 6, 6]
+
+
+def test_constants_chain_through_pipelines():
+    # sender -> stage1 -> stage2: the constant crosses two channels
+    # because the pipeline iterates the analysis.
+    src = """
+channel aC: int
+channel bC: int
+channel outC: int
+external interface drain(in outC) { D($v) };
+process sender { out( aC, 3); }
+process stage1 { in( aC, $x); out( bC, x * 2); }
+process stage2 { in( bC, $y); out( outC, y + 1); }
+"""
+    program, stats, _ = compile_source_with_stats(src)
+    assert stats.crossproc_binders == 2  # x and y both constant
+    stage2 = program.process("stage2")
+    out = next(i for i in stage2.instrs if isinstance(i, ir.Out))
+    assert isinstance(out.expr, ast.IntLit)
+    assert out.expr.value == 7
+
+
+def test_alt_out_arm_sites_participate():
+    src = """
+channel cfgC: record of { mode: int, v: int }
+channel goC: int
+channel outC: int
+external interface feed(out goC) { G($x) };
+external interface drain(in outC) { D($v) };
+process sender {
+    while (true) {
+        alt {
+            case( in( goC, $g)) { skip; }
+            case( out( cfgC, { 7, 0 })) { skip; }
+        }
+    }
+}
+process receiver {
+    while (true) { in( cfgC, { $mode, $v }); out( outC, mode); }
+}
+"""
+    _, stats = analyze(src)
+    assert stats.binders_propagated >= 1

@@ -1,0 +1,51 @@
+"""Smoke tests: every example must run to completion and print the
+expected headline results (keeps examples in sync with the API)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "outputs: [6, 7, 42]" in out
+    assert "verified:" in out and "[ok]" in out
+
+
+def test_page_table():
+    out = run_example("page_table.py")
+    assert "DmaReq" in out
+    assert "NetSend" in out
+    assert "live heap objects at the end: 1" in out
+
+
+def test_fifo_queue():
+    out = run_example("fifo_queue.py")
+    assert "out: [0, 11, 22, 33, 44, 55, 66, 77, 88, 99]" in out
+    assert "verified every interleaving" in out
+
+
+def test_retransmission_verify():
+    out = run_example("retransmission_verify.py")
+    assert "correct protocol" in out
+    assert out.count("FOUND") == 3
+
+
+@pytest.mark.slow
+def test_vmmc_pingpong():
+    out = run_example("vmmc_pingpong.py", timeout=600)
+    assert "vmmcESP" in out
+    assert "interpreter operations" in out

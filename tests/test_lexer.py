@@ -1,0 +1,139 @@
+"""Unit tests for the ESP lexer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind as K
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def test_empty_input_yields_only_eof():
+    tokens = tokenize("")
+    assert [t.kind for t in tokens] == [K.EOF]
+
+
+def test_keywords_are_distinguished_from_identifiers():
+    assert kinds("process processes") == [K.KW_PROCESS, K.IDENT]
+
+
+def test_all_keywords_lex():
+    from repro.lang.tokens import KEYWORDS
+
+    for word, kind in KEYWORDS.items():
+        assert kinds(word) == [kind], word
+
+
+def test_integer_literals_decimal():
+    tokens = tokenize("0 7 54677 1024")
+    assert [t.value for t in tokens[:-1]] == [0, 7, 54677, 1024]
+
+
+def test_integer_literals_hex():
+    tokens = tokenize("0x10 0xff 0XAB")
+    assert [t.value for t in tokens[:-1]] == [16, 255, 171]
+
+
+def test_malformed_hex_rejected():
+    with pytest.raises(LexError):
+        tokenize("0x")
+
+
+def test_malformed_number_rejected():
+    with pytest.raises(LexError):
+        tokenize("12abc")
+
+
+def test_identifier_with_underscores_and_digits():
+    tokens = tokenize("_foo bar_2 Send")
+    assert [t.text for t in tokens[:-1]] == ["_foo", "bar_2", "Send"]
+
+
+def test_sigils():
+    assert kinds("$ # @ |> -> ...") == [
+        K.DOLLAR, K.HASH, K.AT, K.TRIANGLE, K.ARROW, K.ELLIPSIS,
+    ]
+
+
+def test_triangle_not_confused_with_pipe_gt():
+    # `|>` must lex as one token, `| >` as two.
+    assert kinds("|>") == [K.TRIANGLE]
+    assert kinds("| >") == [K.PIPE, K.GT]
+
+
+def test_arrow_not_confused_with_minus_gt():
+    assert kinds("->") == [K.ARROW]
+    assert kinds("- >") == [K.MINUS, K.GT]
+
+
+def test_comparison_operators_maximal_munch():
+    assert kinds("<= >= == != < > =") == [
+        K.LE, K.GE, K.EQ, K.NE, K.LT, K.GT, K.ASSIGN,
+    ]
+
+
+def test_shift_operators():
+    assert kinds("<< >>") == [K.SHL, K.SHR]
+
+
+def test_logical_operators():
+    assert kinds("&& || ! & |") == [K.AND, K.OR, K.NOT, K.AMP, K.PIPE]
+
+
+def test_line_comment_skipped():
+    assert kinds("a // comment with symbols |> $\nb") == [K.IDENT, K.IDENT]
+
+
+def test_block_comment_skipped():
+    assert kinds("a /* multi\nline */ b") == [K.IDENT, K.IDENT]
+
+
+def test_unterminated_block_comment_rejected():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(LexError):
+        tokenize("a ? b")
+
+
+def test_spans_track_lines_and_columns():
+    tokens = tokenize("ab\n  cd")
+    assert tokens[0].span.start.line == 1
+    assert tokens[0].span.start.column == 1
+    assert tokens[1].span.start.line == 2
+    assert tokens[1].span.start.column == 3
+
+
+def test_paper_fragment_lexes():
+    text = "in( userReqC, { send |> { $dest, $vAddr, $size}});"
+    ks = kinds(text)
+    assert K.TRIANGLE in ks
+    assert ks.count(K.DOLLAR) == 3
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_integer_roundtrip(n):
+    token = tokenize(str(n))[0]
+    assert token.kind is K.INT
+    assert token.value == n
+
+
+@given(st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu")), min_size=1, max_size=12))
+def test_property_alpha_words_lex_as_single_token(word):
+    tokens = tokenize(word)
+    assert len(tokens) == 2  # word + EOF
+
+
+@given(st.lists(st.sampled_from(["+", "-", "*", "/", "(", ")", "{", "}", ";", ",", "12", "x"]), max_size=30))
+def test_property_token_concatenation_with_spaces(parts):
+    # Joining arbitrary valid tokens with spaces must always lex, and
+    # produce exactly one token per part.
+    text = " ".join(parts)
+    tokens = tokenize(text)
+    assert len(tokens) == len(parts) + 1

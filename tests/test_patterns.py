@@ -1,0 +1,212 @@
+"""Unit tests for channel pattern analysis (ports, disjointness,
+exhaustiveness)."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.lang.parser import parse
+from repro.lang.patterns import (
+    Eq,
+    Rec,
+    Uni,
+    Wild,
+    analyze,
+    check_exhaustive,
+    shapes_disjoint,
+)
+from repro.lang.typecheck import check
+from repro.lang.types import INT, RecordType, UnionType
+
+
+def analyze_program(text):
+    return analyze(check(parse(text)))
+
+
+PRELUDE = """
+type sendT = record of { dest: int, vAddr: int, size: int}
+type updateT = record of { vAddr: int, pAddr: int}
+type userT = union of { send: sendT, update: updateT }
+channel userC: userT
+channel replyC: record of { ret: int, val: int}
+"""
+
+
+# -- shape algebra ------------------------------------------------------------
+
+
+def test_disjoint_union_tags():
+    a = Uni("send", Wild())
+    b = Uni("update", Wild())
+    assert shapes_disjoint(a, b)
+
+
+def test_same_tag_not_disjoint():
+    a = Uni("send", Wild())
+    b = Uni("send", Rec((Wild(), Wild())))
+    assert not shapes_disjoint(a, b)
+
+
+def test_disjoint_eq_constants():
+    assert shapes_disjoint(Rec((Eq(0), Wild())), Rec((Eq(1), Wild())))
+    assert not shapes_disjoint(Rec((Eq(1), Wild())), Rec((Eq(1), Wild())))
+
+
+def test_wild_overlaps_everything():
+    assert not shapes_disjoint(Wild(), Uni("send", Wild()))
+    assert not shapes_disjoint(Wild(), Eq(3))
+
+
+def test_record_disjoint_if_any_column_disjoint():
+    a = Rec((Eq(0), Uni("send", Wild())))
+    b = Rec((Eq(0), Uni("update", Wild())))
+    assert shapes_disjoint(a, b)
+
+
+# -- exhaustiveness ---------------------------------------------------------------
+
+
+UNION = UnionType((("a", INT), ("b", INT)))
+
+
+def test_exhaustive_wildcard():
+    cov = check_exhaustive(INT, [Wild()])
+    assert cov.exhaustive and not cov.dynamic
+
+
+def test_union_requires_all_tags():
+    cov = check_exhaustive(UNION, [Uni("a", Wild())])
+    assert not cov.exhaustive
+    assert any("b" in m for m in cov.missing)
+
+
+def test_union_all_tags_covered():
+    cov = check_exhaustive(UNION, [Uni("a", Wild()), Uni("b", Wild())])
+    assert cov.exhaustive and not cov.dynamic
+
+
+def test_eq_coverage_is_dynamic():
+    rec = RecordType((("ret", INT), ("val", INT)))
+    cov = check_exhaustive(rec, [Rec((Eq(0), Wild())), Rec((Eq(1), Wild()))])
+    assert cov.exhaustive and cov.dynamic
+
+
+# -- whole-program port analysis -----------------------------------------------
+
+
+def test_union_dispatch_two_processes():
+    analysis = analyze_program(
+        PRELUDE
+        + """
+process a { in( userC, { send |> { $d, $v, $s }}); print(d); }
+process b { in( userC, { update |> { $v, $p }}); print(v); }
+process c { out( userC, { send |> { 1, 2, 3 }}); }
+"""
+    )
+    ports = analysis.ports["userC"]
+    assert len(ports) == 2
+    assert {p.reader for p in ports} == {"a", "b"}
+
+
+def test_overlapping_patterns_rejected():
+    with pytest.raises(PatternError, match="overlap"):
+        analyze_program(
+            PRELUDE
+            + """
+process a { in( userC, { send |> { $d, $v, $s }}); print(d); }
+process b { in( userC, $any); unlink(any); }
+"""
+        )
+
+
+def test_same_pattern_two_processes_rejected():
+    with pytest.raises(PatternError, match="one process only"):
+        analyze_program(
+            PRELUDE
+            + """
+process a { in( userC, { send |> { $d, $v, $s }}); print(d); }
+process b { in( userC, { send |> { $x, $y, $z }}); print(x); }
+"""
+        )
+
+
+def test_same_pattern_same_process_shares_port():
+    analysis = analyze_program(
+        PRELUDE
+        + """
+process a {
+    in( userC, { send |> { $d, $v, $s }});
+    in( userC, { send |> { $d2, $v2, $s2 }});
+    print(d + d2);
+}
+process b { in( userC, { update |> { $v, $p }}); print(v); }
+"""
+    )
+    ports = analysis.ports["userC"]
+    send_port = [p for p in ports if p.reader == "a"][0]
+    assert len(send_port.uses) == 2
+
+
+def test_union_not_exhaustive_rejected():
+    with pytest.raises(PatternError, match="exhaustive"):
+        analyze_program(
+            PRELUDE
+            + "process a { in( userC, { send |> { $d, $v, $s }}); print(d); }"
+        )
+
+
+def test_process_id_reply_routing():
+    # Two processes each read replies tagged with their own pid: disjoint.
+    analysis = analyze_program(
+        PRELUDE
+        + """
+process a { in( replyC, { @, $v }); print(v); }
+process b { in( replyC, { @, $v }); print(v); }
+process c { out( replyC, { 0, 42 }); }
+"""
+    )
+    ports = analysis.ports["replyC"]
+    assert len(ports) == 2
+    assert {p.shape for p in ports} == {Rec((Eq(0), Wild())), Rec((Eq(1), Wild()))}
+
+
+def test_conflicting_pid_and_literal_rejected():
+    # Process a has pid 0; a literal 0 pattern in b collides with a's `@`
+    # (reported as a duplicate port claimed by two processes).
+    with pytest.raises(PatternError):
+        analyze_program(
+            PRELUDE
+            + """
+process a { in( replyC, { @, $v }); print(v); }
+process b { in( replyC, { 0, $v }); print(v); }
+"""
+        )
+
+
+def test_interface_entries_become_external_ports():
+    analysis = analyze_program(
+        PRELUDE
+        + """
+channel notifyC: int
+external interface notify(in notifyC) { Notify($v) };
+process p { out( notifyC, 1); }
+"""
+    )
+    ports = analysis.ports["notifyC"]
+    assert len(ports) == 1
+    assert ports[0].reader is None
+    assert ports[0].entry_name == "Notify"
+
+
+def test_port_indexes_stamped_on_patterns():
+    program = parse(
+        PRELUDE
+        + """
+process a { in( userC, { send |> { $d, $v, $s }}); print(d); }
+process b { in( userC, { update |> { $v, $p }}); print(v); }
+"""
+    )
+    checked = check(program)
+    analyze(checked)
+    uses = checked.in_uses["userC"]
+    indexes = {u.process: u.pattern.port_index for u in uses}
+    assert set(indexes.values()) == {0, 1}

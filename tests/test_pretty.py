@@ -1,0 +1,146 @@
+"""Tests for the pretty-printer, including parse∘print round-trip
+properties over generated expression ASTs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.lang.pretty import print_expr, print_program
+from tests.test_parser import APPENDIX_B
+
+
+def strip(node):
+    """A structural digest of an AST node, ignoring spans and types."""
+    if isinstance(node, ast.Node):
+        fields = {}
+        for name, value in vars(node).items():
+            if name in ("span", "type"):
+                continue
+            fields[name] = strip(value)
+        return (type(node).__name__, tuple(sorted(fields.items())))
+    if isinstance(node, list):
+        return tuple(strip(v) for v in node)
+    if isinstance(node, tuple):
+        return tuple(strip(v) for v in node)
+    return node
+
+
+def reparse_expr(e: ast.Expr) -> ast.Expr:
+    text = print_expr(e)
+    program = parse(f"process p {{ $x = {text}; }}")
+    return program.processes()[0].body.stmts[0].init
+
+
+# -- whole-program round trip ----------------------------------------------------
+
+
+def test_appendix_b_roundtrips():
+    program = parse(APPENDIX_B)
+    printed = print_program(program)
+    reparsed = parse(printed)
+    assert strip(program) == strip(reparsed)
+
+
+def test_roundtrip_is_fixpoint():
+    program = parse(APPENDIX_B)
+    once = print_program(program)
+    twice = print_program(parse(once))
+    assert once == twice
+
+
+def test_statement_coverage_roundtrip():
+    src = """
+const N = 3;
+channel c: int
+process p {
+    $i: int = 0;
+    $b = true;
+    $a = #{ N -> 0 };
+    $frozen = cast(a);
+    a[0] = 1;
+    { $x }: record of { x: int } = { 5 };
+    while (i < N) {
+        if (b && i != 1) { i = i + 1; } else { break; }
+    }
+    alt {
+        case( i > 0, in( c, $v)) { print(v); }
+        case( out( c, i)) { skip; }
+    }
+    link( a);
+    unlink( a);
+    unlink( a);
+    unlink( frozen);
+    assert( i <= N);
+}
+"""
+    program = parse(src)
+    assert strip(parse(print_program(program))) == strip(program)
+
+
+# -- generated expressions ------------------------------------------------------------
+
+
+@st.composite
+def exprs(draw, depth=3):
+    if depth == 0:
+        return draw(st.one_of(
+            st.integers(-999, 999).map(
+                lambda v: ast.IntLit(None, value=abs(v)) if v >= 0
+                else ast.Unary(None, op="-", operand=ast.IntLit(None, value=-v))
+            ),
+            st.sampled_from("abcxyz").map(lambda n: ast.Var(None, name=n)),
+        ))
+    kind = draw(st.sampled_from(["binary", "unary", "index", "leaf", "leaf"]))
+    if kind == "binary":
+        op = draw(st.sampled_from(["+", "-", "*", "/", "%", "<", "==",
+                                   "<<", "&", "|", "^"]))
+        return ast.Binary(None, op=op,
+                          left=draw(exprs(depth=depth - 1)),
+                          right=draw(exprs(depth=depth - 1)))
+    if kind == "unary":
+        return ast.Unary(None, op="-", operand=draw(exprs(depth=depth - 1)))
+    if kind == "index":
+        return ast.Index(None, base=ast.Var(None, name="arr"),
+                         index=draw(exprs(depth=depth - 1)))
+    return draw(exprs(depth=0))
+
+
+@given(exprs())
+@settings(max_examples=150)
+def test_property_expr_roundtrip(e):
+    assert strip(reparse_expr(e)) == strip(e)
+
+
+@given(exprs())
+@settings(max_examples=60)
+def test_property_printing_is_deterministic(e):
+    assert print_expr(e) == print_expr(e)
+
+
+def test_precedence_parenthesization():
+    # (a + b) * c must keep its parentheses; a + b * c must not gain any.
+    e1 = ast.Binary(None, op="*",
+                    left=ast.Binary(None, op="+",
+                                    left=ast.Var(None, name="a"),
+                                    right=ast.Var(None, name="b")),
+                    right=ast.Var(None, name="c"))
+    assert print_expr(e1) == "(a + b) * c"
+    e2 = ast.Binary(None, op="+",
+                    left=ast.Var(None, name="a"),
+                    right=ast.Binary(None, op="*",
+                                     left=ast.Var(None, name="b"),
+                                     right=ast.Var(None, name="c")))
+    assert print_expr(e2) == "a + b * c"
+
+
+def test_left_associativity_preserved():
+    # a - b - c parses as (a - b) - c; a - (b - c) needs parens.
+    e = ast.Binary(None, op="-",
+                   left=ast.Var(None, name="a"),
+                   right=ast.Binary(None, op="-",
+                                    left=ast.Var(None, name="b"),
+                                    right=ast.Var(None, name="c")))
+    text = print_expr(e)
+    assert text == "a - (b - c)"
+    assert strip(reparse_expr(e)) == strip(e)

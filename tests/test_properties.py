@@ -1,0 +1,243 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: the heap's reference-counting discipline, the sliding
+window, environment value enumeration, optimizer semantics
+preservation, and scheduler-policy independence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    CollectorReader,
+    Machine,
+    OptLevel,
+    QueueWriter,
+    Scheduler,
+    compile_source,
+)
+from repro.errors import MemorySafetyError
+from repro.runtime.heap import Heap
+from repro.runtime.values import Ref
+from repro.vmmc.packets import SendWindow
+from repro.verify.environment import enumerate_values
+from repro.lang.types import ArrayType, BOOL, INT, RecordType, UnionType
+
+
+# -- heap refcount discipline ------------------------------------------------------
+
+
+@st.composite
+def heap_ops(draw):
+    """A random sequence of alloc/link/unlink operations."""
+    n = draw(st.integers(min_value=1, max_value=30))
+    ops = []
+    handles = 0
+    for _ in range(n):
+        if handles == 0:
+            ops.append(("alloc",))
+            handles += 1
+        else:
+            choice = draw(st.sampled_from(["alloc", "link", "unlink"]))
+            if choice == "alloc":
+                ops.append(("alloc",))
+                handles += 1
+            else:
+                ops.append((choice, draw(st.integers(0, handles - 1))))
+    return ops
+
+
+@given(heap_ops())
+@settings(max_examples=60)
+def test_heap_refcounts_match_reference_model(ops):
+    """The heap agrees with a simple reference model: an object is live
+    iff its modelled count is positive, and unlink of a dead object is
+    always a detected double free."""
+    heap = Heap()
+    refs: list[Ref] = []
+    model: dict[int, int] = {}
+    for op in ops:
+        if op[0] == "alloc":
+            ref = heap.alloc("array", [0, 0], mutable=False)
+            refs.append(ref)
+            model[ref.oid] = 1
+        else:
+            _kind, index = op
+            ref = refs[index]
+            alive = model.get(ref.oid, 0) > 0
+            if op[0] == "link":
+                if alive:
+                    heap.link(ref)
+                    model[ref.oid] += 1
+                else:
+                    with pytest.raises(MemorySafetyError):
+                        heap.link(ref)
+            else:
+                if alive:
+                    heap.unlink(ref)
+                    model[ref.oid] -= 1
+                else:
+                    with pytest.raises(MemorySafetyError):
+                        heap.unlink(ref)
+    live_model = sum(1 for c in model.values() if c > 0)
+    assert heap.live_count() == live_model
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=5))
+def test_heap_recursive_free_reclaims_tree(depth, fanout):
+    """Freeing the root of a fresh tree reclaims every node."""
+    heap = Heap()
+
+    def build(d) -> Ref:
+        children = []
+        if d > 0:
+            children = [build(d - 1) for _ in range(min(fanout, 2))]
+        return heap.alloc("record", list(children), mutable=False)
+
+    root = build(depth)
+    assert heap.live_count() >= 1
+    heap.unlink(root)
+    assert heap.live_count() == 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=40), max_size=30))
+def test_send_window_invariants(acks):
+    w = SendWindow(8)
+    sent = 0
+    for a in acks:
+        if w.open():
+            w.take_seq()
+            sent += 1
+        prev = w.acked
+        w.ack(a)
+        assert w.acked >= prev            # monotone
+        assert w.acked <= w.next_seq - 1  # never beyond what was sent
+        assert 0 <= w.in_flight() <= 8
+
+
+# -- environment enumeration ----------------------------------------------------------
+
+
+@given(st.integers(min_value=1, max_value=3), st.integers(min_value=1, max_value=3))
+def test_enumerate_record_count_is_product(a, b):
+    t = RecordType((("x", INT), ("y", INT)))
+    ints = tuple(range(a + 1))
+    values = enumerate_values(t, int_domain=ints, limit=1000)
+    assert len(values) == len(ints) ** 2
+
+
+def test_enumerate_values_build_into_heap():
+    from repro.ir.nodes import IRProgram  # noqa: F401  (type only)
+
+    t = UnionType((("a", RecordType((("x", INT), ("flag", BOOL)))),
+                   ("b", ArrayType(INT))))
+    program = compile_source(
+        "channel c: int process p { in( c, $x); print(x); }"
+    )
+    machine = Machine(program)
+    for value in enumerate_values(t, array_sizes=(2,), limit=50):
+        ref = machine.build_value(t, value)
+        assert machine.heap.to_python(ref) == value
+        machine.heap.unlink(ref)
+    assert machine.heap.live_count() == 0
+
+
+# -- optimizer preserves semantics -------------------------------------------------------
+
+
+PIPELINE_TEMPLATE = """
+const K = 3;
+channel inC: int
+channel midC: record of { tag: int, v: int }
+channel outC: int
+external interface feed(out inC) { F($v) };
+external interface drain(in outC) { D($v) };
+process stage1 {
+    while (true) {
+        in( inC, $x);
+        $y = x * K + 1;
+        $z = y;
+        // (z % 2 + 2) % 2: a parity bit that is 0/1 for negatives too
+        // (ESP's % truncates toward zero, like C).
+        out( midC, { (z % 2 + 2) % 2, z });
+    }
+}
+process even { while (true) { in( midC, { 0, $v }); out( outC, v); } }
+process odd  { while (true) { in( midC, { 1, $v }); out( outC, v + 1000); } }
+"""
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100), max_size=12))
+@settings(max_examples=25, deadline=None)
+def test_optimizer_preserves_pipeline_semantics(inputs):
+    outputs = {}
+    for level in (OptLevel.NONE, OptLevel.FULL):
+        feed = QueueWriter(["F"])
+        drain = CollectorReader(["D"])
+        for v in inputs:
+            feed.post("F", v)
+        program = compile_source(PIPELINE_TEMPLATE, opt_level=level)
+        machine = Machine(program, externals={"inC": feed, "outC": drain})
+        Scheduler(machine).run()
+        outputs[level] = drain.received
+    assert outputs[OptLevel.NONE] == outputs[OptLevel.FULL]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=10),
+       st.sampled_from(["stack", "fifo", "random"]))
+@settings(max_examples=25, deadline=None)
+def test_policies_agree_on_deterministic_pipeline(inputs, policy):
+    """A single-reader pipeline has no scheduling freedom that can
+    change outputs: every policy yields the same sequence."""
+    src = """
+channel inC: int
+channel outC: int
+external interface feed(out inC) { F($v) };
+external interface drain(in outC) { D($v) };
+process double { while (true) { in( inC, $x); out( outC, x + x); } }
+"""
+    feed = QueueWriter(["F"])
+    drain = CollectorReader(["D"])
+    for v in inputs:
+        feed.post("F", v)
+    machine = Machine(compile_source(src), externals={"inC": feed, "outC": drain})
+    Scheduler(machine, policy=policy, seed=7).run()
+    assert [args[0] for _, args in drain.received] == [2 * v for v in inputs]
+
+
+# -- canonical state stability ------------------------------------------------------------
+
+
+@given(st.integers(min_value=1, max_value=6))
+@settings(max_examples=10, deadline=None)
+def test_canonical_state_loop_closure(n_messages):
+    """A consuming loop returns to the same canonical state after every
+    balanced iteration, regardless of how many messages went through.
+    (The output side must be a stateless sink: a CollectorReader's
+    history is part of the environment state and would grow.)"""
+    from repro.verify import SinkReader, canonical_state
+
+    src = """
+channel inC: int
+channel outC: int
+external interface feed(out inC) { F($v) };
+external interface drain(in outC) { D($v) };
+process worker {
+    while (true) {
+        in( inC, $x);
+        $buf = #{ 2 -> x };
+        out( outC, buf[0]);
+        unlink( buf);
+    }
+}
+"""
+    program = compile_source(src)
+    feed = QueueWriter(["F"])
+    drain = SinkReader(["D"])
+    machine = Machine(program, externals={"inC": feed, "outC": drain})
+    scheduler = Scheduler(machine)
+    scheduler.run()
+    states = set()
+    for _ in range(n_messages):
+        feed.post("F", 5)
+        scheduler.run()
+        states.add(canonical_state(machine))
+    assert len(states) == 1

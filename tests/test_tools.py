@@ -1,0 +1,189 @@
+"""Tests for the espc CLI and the LoC accounting tools."""
+
+import pytest
+
+from repro.tools.cli import main
+from repro.tools.loc import (
+    count_python,
+    count_source,
+    split_esp_declarations,
+    vmmc_code_size_comparison,
+)
+
+GOOD = """
+channel c: int
+process p { out( c, 41); }
+process q { in( c, $x); print(x + 1); }
+"""
+
+BAD_SYNTAX = "process p { out( c, ; }"
+BAD_TYPES = "channel c: int process p { out( c, true); }"
+
+
+@pytest.fixture
+def esp_file(tmp_path):
+    path = tmp_path / "pgm.esp"
+    path.write_text(GOOD)
+    return str(path)
+
+
+# -- espc subcommands ----------------------------------------------------------
+
+
+def test_check_ok(esp_file, capsys):
+    assert main(["check", esp_file]) == 0
+    out = capsys.readouterr().out
+    assert "2 process(es)" in out
+
+
+def test_check_reports_syntax_error(tmp_path, capsys):
+    path = tmp_path / "bad.esp"
+    path.write_text(BAD_SYNTAX)
+    assert main(["check", str(path)]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_check_reports_type_error(tmp_path, capsys):
+    path = tmp_path / "bad.esp"
+    path.write_text(BAD_TYPES)
+    assert main(["check", str(path)]) == 2
+    assert "mismatch" in capsys.readouterr().err
+
+
+def test_errors_carry_caret_diagnostics(tmp_path, capsys):
+    path = tmp_path / "bad.esp"
+    path.write_text("channel c: int\nprocess p { out( c, true); }\n")
+    assert main(["check", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "^" in err                       # caret marker
+    assert "out( c, true);" in err          # offending line shown
+
+
+def test_emit_c_writes_file(esp_file, tmp_path, capsys):
+    out_path = tmp_path / "pgm.c"
+    assert main(["emit-c", esp_file, "-o", str(out_path)]) == 0
+    text = out_path.read_text()
+    assert "esp_step_0" in text
+    assert "esp_main_loop" in text
+
+
+def test_emit_c_stdout(esp_file, capsys):
+    assert main(["emit-c", esp_file]) == 0
+    assert "esp_alloc" in capsys.readouterr().out
+
+
+def test_emit_spin_writes_file(esp_file, tmp_path):
+    out_path = tmp_path / "pgm.pml"
+    assert main(["emit-spin", esp_file, "-o", str(out_path)]) == 0
+    assert "proctype p()" in out_path.read_text()
+
+
+def test_run_executes(esp_file, capsys):
+    assert main(["run", esp_file]) == 0
+    out = capsys.readouterr().out
+    assert "q: 42" in out
+    assert "transfer" in out
+
+
+def test_verify_whole_program(esp_file, capsys):
+    assert main(["verify", esp_file]) == 0
+    assert "states" in capsys.readouterr().out
+
+
+def test_verify_finds_violation(tmp_path, capsys):
+    path = tmp_path / "bad.esp"
+    path.write_text("""
+channel c: int
+process p { out( c, 1); assert(false); }
+process q { in( c, $x); print(x); }
+""")
+    assert main(["verify", str(path)]) == 1
+    assert "assertion" in capsys.readouterr().out
+
+
+def test_verify_process_memory_safety(tmp_path, capsys):
+    path = tmp_path / "worker.esp"
+    path.write_text("""
+type dataT = array of int
+channel inC: dataT
+channel outC: int
+process worker { while (true) { in( inC, $d); out( outC, d[0]); unlink( d); } }
+process peer { out( inC, { 1 -> 0 }); in( outC, $x); print(x); }
+""")
+    assert main(["verify", str(path), "--process", "worker"]) == 0
+    assert "memory safety of 'worker'" in capsys.readouterr().out
+
+
+def test_stats(esp_file, capsys):
+    assert main(["stats", esp_file]) == 0
+    out = capsys.readouterr().out
+    assert "folds" in out
+    assert "instructions" in out
+
+
+def test_missing_file(capsys):
+    assert main(["check", "/nonexistent.esp"]) == 2
+
+
+# -- LoC accounting -----------------------------------------------------------------
+
+
+def test_count_source_comments_blanks():
+    report = count_source("code();\n// c\n\n/* a\nb */\nmore();")
+    assert (report.code, report.comment, report.blank) == (2, 3, 1)
+
+
+def test_count_python_docstrings():
+    report = count_python('"""doc\nstring"""\nx = 1\n# note\n')
+    assert report.code == 1
+    assert report.comment == 3
+
+
+def test_split_declarations_vs_process_code():
+    decl, proc = split_esp_declarations(
+        "type t = int\nchannel c: int\nprocess p {\n$x = 1;\n}\n"
+    )
+    assert decl == 2
+    assert proc == 3
+
+
+def test_vmmc_comparison_structure():
+    comparison = vmmc_code_size_comparison()
+    assert comparison["paper"]["orig_c_lines"] == 15600
+    ours = comparison["ours"]
+    assert ours["esp_decl_lines"] + ours["esp_process_lines"] == ours["esp_lines"]
+
+
+def test_pretty_subcommand_roundtrips(esp_file, tmp_path, capsys):
+    out_path = tmp_path / "pretty.esp"
+    assert main(["pretty", esp_file, "-o", str(out_path)]) == 0
+    # The reformatted file still checks.
+    assert main(["check", str(out_path)]) == 0
+
+
+# -- the on-disk ESP corpus -------------------------------------------------------
+
+
+CORPUS = __import__("pathlib").Path(__file__).resolve().parent.parent / "examples" / "esp"
+
+
+@pytest.mark.parametrize("name", sorted(p.name for p in CORPUS.glob("*.esp")))
+def test_corpus_file_checks(name):
+    assert main(["check", str(CORPUS / name)]) == 0
+
+
+@pytest.mark.parametrize("name", sorted(p.name for p in CORPUS.glob("*.esp")))
+def test_corpus_file_emits_both_targets(name, tmp_path, capsys):
+    assert main(["emit-c", str(CORPUS / name),
+                 "-o", str(tmp_path / "out.c")]) == 0
+    assert main(["emit-spin", str(CORPUS / name),
+                 "-o", str(tmp_path / "out.pml")]) == 0
+    assert "esp_main_loop" in (tmp_path / "out.c").read_text()
+    assert "proctype" in (tmp_path / "out.pml").read_text()
+
+
+def test_corpus_vmmc_matches_module_source():
+    from repro.vmmc.firmware_esp import VMMC_ESP_SOURCE
+
+    on_disk = (CORPUS / "vmmc.esp").read_text()
+    assert VMMC_ESP_SOURCE.strip() in on_disk

@@ -1,0 +1,175 @@
+"""Tests for the VMMC case study: both firmware implementations must
+deliver the same protocol behaviour on the simulated platform."""
+
+import pytest
+
+from repro.sim.timing import CostModel
+from repro.vmmc.firmware_esp import compile_vmmc_esp, VMMC_ESP_SOURCE
+from repro.vmmc.packets import SendWindow, ack_packet, data_packet
+from repro.vmmc.workloads import (
+    IMPLEMENTATIONS,
+    bidirectional_bandwidth,
+    build_pair,
+    one_way_bandwidth,
+    pingpong_latency,
+)
+
+FAST_COST = CostModel()
+
+
+# -- packets / window --------------------------------------------------------------
+
+
+def test_send_window_opens_and_closes():
+    w = SendWindow(2)
+    assert w.open()
+    w.take_seq()
+    w.take_seq()
+    assert not w.open()
+    assert w.in_flight() == 2
+    assert w.ack(0) == 1
+    assert w.open()
+    assert w.ack(1) == 1
+    assert w.in_flight() == 0
+
+
+def test_window_ignores_stale_and_future_acks():
+    w = SendWindow(4)
+    w.take_seq()
+    assert w.ack(-1) == 0
+    assert w.ack(5) == 1  # clamps to what was actually sent
+    assert w.in_flight() == 0
+
+
+def test_packet_constructors():
+    d = data_packet(0, 1, 7, 3, 256, 9, True)
+    assert d["type"] == "data" and d["seq"] == 7 and d["last"]
+    a = ack_packet(1, 0, 7)
+    assert a["type"] == "ack" and a["nbytes"] == 0
+
+
+# -- the ESP firmware program itself ------------------------------------------------
+
+
+def test_vmmc_esp_source_compiles():
+    program = compile_vmmc_esp()
+    names = [p.name for p in program.processes]
+    assert names == ["pageTable", "sm1", "sender", "receiver", "acker",
+                     "completer"]
+    assert len(program.channels) == 14
+
+
+def test_vmmc_esp_uses_union_dispatch():
+    # hostReqC is read by both pageTable (update) and sm1 (send);
+    # netInC by both sender (ack) and receiver (data).
+    program = compile_vmmc_esp()
+    host_ports = program.ports.ports["hostReqC"]
+    assert {p.reader for p in host_ports} == {"pageTable", "sm1"}
+    net_ports = program.ports.ports["netInC"]
+    assert {p.reader for p in net_ports} == {"sender", "receiver"}
+
+
+def test_vmmc_esp_memory_safety_of_processes():
+    # §5.3: each process is verified separately. The two with heap
+    # traffic are sm1 (allocates chunk buffers) and sender (unlinks).
+    from repro.lang.program import frontend
+    from repro.verify import verify_process
+
+    front = frontend(VMMC_ESP_SOURCE)
+    for process in ("completer", "acker"):
+        report = verify_process(front, process, max_states=20_000)
+        assert report.ok, report.summary()
+
+
+# -- functional equivalence across implementations -------------------------------------
+
+
+@pytest.mark.parametrize("impl", IMPLEMENTATIONS)
+def test_pingpong_terminates_and_measures(impl):
+    result = pingpong_latency(impl, 4, rounds=4, warmup=1)
+    assert result.latency_us is not None
+    assert result.latency_us > 0
+    assert result.messages == 4
+
+
+@pytest.mark.parametrize("impl", IMPLEMENTATIONS)
+def test_one_way_delivers_all_messages(impl):
+    result = one_way_bandwidth(impl, 1024, messages=8)
+    assert result.messages == 8
+    assert result.bandwidth_mb_s > 0
+
+
+@pytest.mark.parametrize("impl", IMPLEMENTATIONS)
+def test_bidirectional_delivers_both_directions(impl):
+    result = bidirectional_bandwidth(impl, 1024, messages=5)
+    assert result.messages == 10
+
+
+@pytest.mark.parametrize("impl", IMPLEMENTATIONS)
+def test_multi_page_messages_are_chunked(impl):
+    pair = build_pair(impl)
+    received = []
+    pair.hosts[1].on_notify = received.append
+    pair.hosts[0].send(1, 0, 10000)  # 3 pages
+    pair.sim.run_until(lambda: received, max_events=2_000_000)
+    assert len(received) == 1
+    # 3 data chunks crossed the wire (plus acks).
+    assert pair.wire.stats()["packets"][0] >= 3
+
+
+@pytest.mark.parametrize("impl", IMPLEMENTATIONS)
+def test_update_requests_are_processed(impl):
+    pair = build_pair(impl)
+    pair.hosts[0].update_translation(0, 0x2000)
+    pair.sim.run_until(lambda: pair.sim.pending() == 0, max_events=100_000)
+    received = []
+    pair.hosts[1].on_notify = received.append
+    pair.hosts[0].send(1, 0, 100)
+    pair.sim.run_until(lambda: received, max_events=2_000_000)
+    assert received
+
+
+def test_latency_monotone_in_size():
+    for impl in IMPLEMENTATIONS:
+        l_small = pingpong_latency(impl, 4, rounds=4, warmup=1).latency_us
+        l_big = pingpong_latency(impl, 4096, rounds=4, warmup=1).latency_us
+        assert l_big > l_small
+
+
+def test_small_message_discontinuity():
+    # Figure 5's 32/64 B jump: 32 B messages are inlined (no fetch
+    # DMA); 64 B messages are not.
+    for impl in IMPLEMENTATIONS:
+        l32 = pingpong_latency(impl, 32, rounds=4, warmup=1).latency_us
+        l64 = pingpong_latency(impl, 64, rounds=4, warmup=1).latency_us
+        assert l64 - l32 > 2.0, impl  # the fetch DMA startup appears
+
+
+def test_page_discontinuity():
+    # Figure 5's 4/8 KB jump: a second page means a second translate +
+    # fetch + packet.
+    for impl in IMPLEMENTATIONS:
+        l4k = pingpong_latency(impl, 4096, rounds=4, warmup=1).latency_us
+        l8k = pingpong_latency(impl, 8192, rounds=4, warmup=1).latency_us
+        assert l8k / l4k > 1.3, impl
+
+
+def test_fastpath_statistics_exposed():
+    result = pingpong_latency("orig", 4, rounds=4, warmup=1)
+    assert result.extra["nic0_fastpath_taken"] > 0
+    nofast = pingpong_latency("orig_nofast", 4, rounds=4, warmup=1)
+    assert nofast.extra["nic0_fastpath_taken"] == 0
+
+
+def test_esp_heap_is_clean_after_run():
+    # Every chunk buffer allocated by sm1 must be reclaimed: no leaks
+    # in the ESP firmware under sustained traffic.
+    pair = build_pair("esp")
+    received = []
+    pair.hosts[1].on_notify = received.append
+    for _ in range(6):
+        pair.hosts[0].send(1, 0, 2048)
+    pair.sim.run_until(lambda: len(received) >= 6, max_events=4_000_000)
+    for nic in pair.nics:
+        fw = nic.firmware
+        assert fw.machine.heap.live_count() <= 1  # only pageTable's table
