@@ -670,6 +670,64 @@ class Machine:
         for name, bridge_state in ext.items():
             self.externals[name].restore(bridge_state)
 
+    # -- portable snapshots --------------------------------------------------------
+
+    def snapshot_portable(self):
+        """Like :meth:`snapshot`, but encoded with plain ints, bools,
+        strings, and tuples only, so the result pickles compactly and
+        identically in any process — parallel verification workers ship
+        these through queues.  Heap references are tagged ``("R", oid)``,
+        which is unambiguous because runtime values are never tuples;
+        external-bridge snapshots must already be plain data (the
+        documented bridge contract)."""
+        enc = _encode_value
+        procs, heap_objs, next_oid, retired, ext = self.snapshot()
+        pprocs = []
+        for pc, locals_, status, block, wait_mask in procs:
+            if block is not None:
+                kind, channel, port_index, values, fresh, fused, arms = block
+                block = (
+                    kind, channel, port_index,
+                    tuple(enc(v) for v in values) if values is not None else None,
+                    fresh, fused, arms,
+                )
+            pprocs.append((
+                pc,
+                tuple((name, enc(v)) for name, v in sorted(locals_.items())),
+                status.value, block, wait_mask,
+            ))
+        pheap = tuple(
+            (oid, kind, tag, mutable, refcount, live,
+             tuple(enc(v) for v in data), owner)
+            for oid, (kind, tag, mutable, refcount, live, data, owner)
+            in sorted(heap_objs.items())
+        )
+        pext = tuple(sorted(ext.items()))
+        return (tuple(pprocs), pheap, next_oid, tuple(sorted(retired)), pext)
+
+    def restore_portable(self, state) -> None:
+        """Restore from a :meth:`snapshot_portable` value."""
+        dec = _decode_value
+        pprocs, pheap, next_oid, retired, pext = state
+        procs = []
+        for pc, locals_, status_value, block, wait_mask in pprocs:
+            if block is not None:
+                kind, channel, port_index, values, fresh, fused, arms = block
+                block = (
+                    kind, channel, port_index,
+                    tuple(dec(v) for v in values) if values is not None else None,
+                    fresh, fused, arms,
+                )
+            procs.append((pc, {name: dec(v) for name, v in locals_},
+                          Status(status_value), block, wait_mask))
+        heap_objs = {
+            oid: (kind, tag, mutable, refcount, live,
+                  [dec(v) for v in data], owner)
+            for oid, kind, tag, mutable, refcount, live, data, owner in pheap
+        }
+        self.restore((tuple(procs), heap_objs, next_oid, frozenset(retired),
+                      dict(pext)))
+
     def _rebuild_block(self, ps: ProcessState, block) -> BlockInfo | None:
         if block is None:
             return None
@@ -690,6 +748,23 @@ class Machine:
 
             info.arms = [EnabledArm(arm=instr.arms[i], index=i) for i in arm_indexes]
         return info
+
+
+# ---------------------------------------------------------------------------
+# Portable value encoding (for snapshot_portable)
+# ---------------------------------------------------------------------------
+
+
+def _encode_value(v):
+    if isinstance(v, Ref):
+        return ("R", v.oid)
+    return v
+
+
+def _decode_value(v):
+    if type(v) is tuple:
+        return Ref(v[1])
+    return v
 
 
 # ---------------------------------------------------------------------------

@@ -6,7 +6,7 @@ Subcommands::
     espc emit-c  pgm.esp [-o out.c] # generate the C firmware file
     espc emit-spin pgm.esp [-o out.pml] [--instances N]
     espc run     pgm.esp [--max-transfers N] [--policy stack|fifo|random]
-    espc verify  pgm.esp [--process NAME] [--max-states N]
+    espc verify  pgm.esp [--process NAME] [--max-states N] [--jobs N]
     espc stats   pgm.esp            # optimizer statistics
 
 ``run`` executes through the interpreter; external channels are not
@@ -29,8 +29,10 @@ from repro.errors import ESPError
 from repro.lang.program import frontend
 from repro.runtime.machine import Machine
 from repro.runtime.scheduler import Scheduler
+from repro.verify.environment import default_verification_bridges
 from repro.verify.explorer import Explorer
 from repro.verify.memsafety import verify_process
+from repro.verify.parallel import ParallelExplorer
 
 
 _SOURCES: dict[str, str] = {}
@@ -91,7 +93,7 @@ def cmd_run(args) -> int:
 def cmd_verify(args) -> int:
     if args.process:
         report = verify_process(_read(args.file), args.process,
-                                max_states=args.max_states)
+                                max_states=args.max_states, jobs=args.jobs)
         print(report.summary())
         ok = report.ok
         violations = report.result.violations
@@ -99,8 +101,15 @@ def cmd_verify(args) -> int:
         program, _stats, _front = compile_source_with_stats(
             _read(args.file), args.file
         )
-        machine = Machine(program)
-        result = Explorer(machine, max_states=args.max_states).explore()
+        machine = Machine(
+            program, externals=default_verification_bridges(program)
+        )
+        if args.jobs is None:
+            explorer = Explorer(machine, max_states=args.max_states)
+        else:
+            explorer = ParallelExplorer(machine, jobs=args.jobs,
+                                        max_states=args.max_states)
+        result = explorer.explore()
         print(result.summary())
         ok = result.ok
         violations = result.violations
@@ -140,6 +149,13 @@ def _write_out(path: str | None, text: str) -> None:
         sys.stdout.write(text)
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="espc", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -170,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--process", help="verify one process's memory safety")
     p.add_argument("--max-states", type=int, default=200_000)
+    p.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="explore with the sharded breadth-first engine across N "
+             "worker processes (results are identical for every N; "
+             "default: serial depth-first engine)",
+    )
     p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("stats", help="optimizer statistics")

@@ -3,15 +3,25 @@ semantics (exhaustive, bit-state, and simulation modes; deadlock,
 assertion, invariant, and memory-safety checking)."""
 
 from repro.verify.bitstate import BitstateExplorer, BitstateResult
-from repro.verify.counterexample import format_trace, report, shortest
+from repro.verify.counterexample import (
+    ReplayError,
+    format_trace,
+    replay_path,
+    replay_violation,
+    report,
+    shortest,
+)
 from repro.verify.coupled import CoupledSystem, Link
 from repro.verify.environment import (
     ChoiceWriter,
     ScriptWriter,
     SinkReader,
+    default_verification_bridges,
+    entry_arg_choices,
     enumerate_values,
 )
 from repro.verify.explorer import Explorer, ExploreResult
+from repro.verify.parallel import ParallelExplorer
 from repro.verify.liveness import (
     LivenessResult,
     check_always_eventually,
@@ -32,11 +42,19 @@ from repro.verify.properties import (
     refcounts_match_references,
 )
 from repro.verify.simulate import SimulationResult, Simulator
-from repro.verify.state import canonical_state, is_quiescent, state_fingerprint
+from repro.verify.state import (
+    canonical_state,
+    is_quiescent,
+    pack_state,
+    stable_fingerprint,
+    state_fingerprint,
+    unpack_state,
+)
 
 __all__ = [
     "Explorer",
     "ExploreResult",
+    "ParallelExplorer",
     "LivenessResult",
     "check_always_eventually",
     "check_no_goal_free_cycles",
@@ -55,6 +73,8 @@ __all__ = [
     "ChoiceWriter",
     "ScriptWriter",
     "SinkReader",
+    "default_verification_bridges",
+    "entry_arg_choices",
     "enumerate_values",
     "verify_process",
     "isolate_process",
@@ -62,8 +82,14 @@ __all__ = [
     "MemSafetyReport",
     "canonical_state",
     "state_fingerprint",
+    "stable_fingerprint",
+    "pack_state",
+    "unpack_state",
     "is_quiescent",
     "format_trace",
     "report",
     "shortest",
+    "replay_path",
+    "replay_violation",
+    "ReplayError",
 ]

@@ -7,6 +7,12 @@ unvisited state as visited (a hash collision) and therefore missing
 part of the space.  We reproduce it with ``k`` independent hash
 functions over the canonical state (k=2 by default, like SPIN's
 double-hash default).
+
+The hash functions are keyed by an explicit ``seed`` and built on the
+process-independent :func:`stable_fingerprint`, not Python's ``hash``
+— the built-in randomizes string hashing per interpreter process, so
+bitmaps (and therefore which states a partial search visits) would
+silently differ run-to-run.  Same seed, same search, every time.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ from repro.errors import ESPError
 from repro.runtime.machine import Machine
 from repro.verify.explorer import _violation_from
 from repro.verify.properties import Invariant, Violation
-from repro.verify.state import canonical_state
+from repro.verify.state import canonical_state, pack_state, stable_fingerprint
 
 
 @dataclass
@@ -56,6 +62,7 @@ class BitstateExplorer:
         hash_count: int = 2,
         max_depth: int | None = None,
         stop_at_first: bool = True,
+        seed: int = 0,
     ):
         self.machine = machine
         self.invariants = list(invariants or [])
@@ -63,6 +70,7 @@ class BitstateExplorer:
         self.hash_count = hash_count
         self.max_depth = max_depth
         self.stop_at_first = stop_at_first
+        self.seed = seed
         self._bitmap = bytearray(bitmap_bits // 8 + 1)
         self._bits_set = 0
 
@@ -70,8 +78,11 @@ class BitstateExplorer:
         """Set the state's hash bits; returns True when it was new
         (i.e. at least one bit was previously clear)."""
         new = False
+        packed = pack_state(key)
         for salt in range(self.hash_count):
-            h = hash((salt, key)) % self.bitmap_bits
+            h = stable_fingerprint(
+                packed, seed=self.seed * 1_000_003 + salt
+            ) % self.bitmap_bits
             byte, bit = divmod(h, 8)
             if not self._bitmap[byte] & (1 << bit):
                 self._bitmap[byte] |= 1 << bit

@@ -1,15 +1,30 @@
-"""Counterexample formatting.
+"""Counterexample formatting and deterministic replay.
 
 When model checking finds a violation, SPIN "can produce an execution
 sequence that causes the violation and thereby helps in finding the
 bug" (§5.1).  Our violations carry the move trace from the initial
-state; this module renders it for humans and groups multiple
-violations for reports.
+state; this module renders it for humans, groups multiple violations
+for reports, and *replays* traces through a fresh :class:`Machine`.
+
+Replay is what makes parallel verification cheap to merge: workers
+ship a violation as a compact move-index path, and the coordinator
+reconstructs the full human-readable trace by re-executing the path —
+sound because processes are deterministic between blocking points, so
+the path pins down the entire execution.
 """
 
 from __future__ import annotations
 
-from repro.verify.properties import Violation
+from typing import Sequence
+
+from repro.errors import ESPError
+from repro.verify.properties import Invariant, Violation
+from repro.verify.state import is_quiescent
+
+
+class ReplayError(RuntimeError):
+    """A counterexample trace failed to replay (the program or the
+    environment changed since the trace was recorded)."""
 
 
 def format_trace(violation: Violation, heading: str = "counterexample") -> str:
@@ -33,6 +48,86 @@ def group_by_kind(violations: list[Violation]) -> dict[str, list[Violation]]:
     for violation in violations:
         groups.setdefault(violation.kind, []).append(violation)
     return groups
+
+
+def replay_path(machine, path: Sequence[int]) -> tuple[list[str], ESPError | None]:
+    """Replay a move-index path from a machine's *initial* (un-run)
+    state: settle, then at each step apply the path's move by its
+    position in :meth:`Machine.enabled_moves` and settle again.
+
+    Returns the human-readable move descriptions and the interpreter
+    exception that ended the replay (None when the whole path applied
+    cleanly).  Move enumeration is deterministic, so the same path
+    always reproduces the same execution — the parallel engine relies
+    on this to rebuild counterexamples from worker-reported paths."""
+    trace: list[str] = []
+    try:
+        machine.run_ready()
+    except ESPError as err:
+        return trace, err
+    for step, index in enumerate(path):
+        moves = machine.enabled_moves()
+        if index >= len(moves):
+            raise ReplayError(
+                f"step {step + 1}: path wants move {index} but only "
+                f"{len(moves)} move(s) are enabled"
+            )
+        move = moves[index]
+        trace.append(move.describe(machine))
+        try:
+            machine.apply(move)
+            machine.run_ready()
+        except ESPError as err:
+            return trace, err
+    return trace, None
+
+
+def replay_violation(
+    machine,
+    violation: Violation,
+    invariants: list[Invariant] | None = None,
+    quiescence_ok: bool = True,
+) -> Violation:
+    """Re-execute a violation's counterexample trace on a fresh machine
+    and return the reproduced :class:`Violation`.
+
+    Each trace step is matched against the descriptions of the enabled
+    moves (first match wins — deterministic).  Raises
+    :class:`ReplayError` when a step cannot be matched or the trace
+    replays without reproducing any violation.  A reproduced violation
+    equal to the original is the regression guarantee behind the
+    parallel engine's replay-based reconstruction."""
+    from repro.verify.explorer import _violation_from
+
+    try:
+        machine.run_ready()
+    except ESPError as err:
+        return _violation_from(err, [], 0)
+    for step, description in enumerate(violation.trace, start=1):
+        moves = machine.enabled_moves()
+        move = next(
+            (m for m in moves if m.describe(machine) == description), None
+        )
+        if move is None:
+            raise ReplayError(
+                f"step {step}: no enabled move matches {description!r}"
+            )
+        try:
+            machine.apply(move)
+            machine.run_ready()
+        except ESPError as err:
+            return _violation_from(err, violation.trace[:step], step)
+    for invariant in invariants or []:
+        message = invariant(machine)
+        if message is not None:
+            return Violation("invariant", message, list(violation.trace),
+                             len(violation.trace))
+    if (not machine.enabled_moves() and machine.blocked_processes()
+            and not (quiescence_ok and is_quiescent(machine))):
+        names = ", ".join(ps.proc.name for ps in machine.blocked_processes())
+        return Violation("deadlock", f"no enabled move; blocked: {names}",
+                         list(violation.trace), len(violation.trace))
+    raise ReplayError("trace replayed without reproducing a violation")
 
 
 def report(violations: list[Violation]) -> str:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import itertools
 
+from repro.lang import ast
 from repro.lang.types import ArrayType, BoolType, IntType, RecordType, Type, UnionType
 from repro.runtime.external import ExternalReader, ExternalWriter
 
@@ -64,6 +65,60 @@ def _gen(t: Type, ints, sizes):
                 yield list(combo)
         return
     raise TypeError(f"cannot enumerate {t}")
+
+
+def entry_arg_choices(pattern: ast.Pattern, int_domain=(0, 1),
+                      array_sizes=(1,), limit: int = 16) -> list[tuple]:
+    """Enumerate binder-argument tuples for one interface entry over
+    bounded domains (the messages a host *could* send through it)."""
+    binder_types = []
+
+    def collect(p: ast.Pattern):
+        if isinstance(p, ast.PBind):
+            binder_types.append(p.type)
+        elif isinstance(p, ast.PRecord):
+            for item in p.items:
+                collect(item)
+        elif isinstance(p, ast.PUnion):
+            collect(p.value)
+
+    collect(pattern)
+    pools = [
+        enumerate_values(t, int_domain, array_sizes, limit=limit)
+        for t in binder_types
+    ]
+    return list(itertools.islice(itertools.product(*pools), limit))
+
+
+def default_verification_bridges(
+    program,
+    int_domain: tuple[int, ...] = (0, 1),
+    array_sizes: tuple[int, ...] = (1,),
+    max_messages_per_entry: int = 8,
+) -> dict[str, ExternalWriter | ExternalReader]:
+    """A default environment for whole-program verification: every
+    external-writer channel gets an always-ready :class:`ChoiceWriter`
+    offering each interface entry with binder arguments enumerated over
+    the bounded domains, every external-reader channel an
+    accept-anything :class:`SinkReader`.  This is what lets ``espc
+    verify`` explore a program with external interfaces without a
+    hand-written test harness."""
+    bridges: dict[str, ExternalWriter | ExternalReader] = {}
+    for channel, info in program.channels.items():
+        if info.external == "writer":
+            entries = list(info.pattern_names)
+            choices: list[tuple[str, tuple]] = []
+            for entry_name in entries:
+                pattern = program.interfaces[channel][entry_name]
+                for args in entry_arg_choices(
+                    pattern, int_domain, array_sizes,
+                    limit=max_messages_per_entry,
+                ):
+                    choices.append((entry_name, args))
+            bridges[channel] = ChoiceWriter(entries, choices)
+        elif info.external == "reader":
+            bridges[channel] = SinkReader(list(info.pattern_names))
+    return bridges
 
 
 class ChoiceWriter(ExternalWriter):

@@ -174,18 +174,21 @@ class Explorer:
         )
 
 
-def _violation_from(err: ESPError, trace: list[str], depth: int) -> Violation:
+def violation_kind(err: ESPError) -> str:
+    """The violation category of an interpreter exception."""
     from repro.errors import AssertionFailure, MemorySafetyError
 
     if isinstance(err, AssertionFailure):
-        kind = "assertion"
-    elif isinstance(err, MemorySafetyError):
-        kind = "memory"
-    elif isinstance(err, ESPRuntimeError):
-        kind = "runtime"
-    else:
-        kind = "runtime"
-    return Violation(kind, err.format(), list(trace), depth)
+        return "assertion"
+    if isinstance(err, MemorySafetyError):
+        return "memory"
+    if isinstance(err, ESPRuntimeError):
+        return "runtime"
+    return "runtime"
+
+
+def _violation_from(err: ESPError, trace: list[str], depth: int) -> Violation:
+    return Violation(violation_kind(err), err.format(), list(trace), depth)
 
 
 def _key_size(key) -> int:

@@ -36,6 +36,7 @@ from repro.verify.environment import (
     BudgetChoiceWriter,
     ChoiceWriter,
     SinkReader,
+    entry_arg_choices,
     enumerate_values,
 )
 from repro.verify.explorer import Explorer, ExploreResult
@@ -179,8 +180,9 @@ def build_isolated_machine(
                 # A real external interface: enumerate binder args per entry.
                 for entry_name in entries:
                     pattern = program.interfaces[channel][entry_name]
-                    for args in _entry_arg_choices(
-                        pattern, int_domain, array_sizes, max_messages_per_channel
+                    for args in entry_arg_choices(
+                        pattern, int_domain, array_sizes,
+                        limit=max_messages_per_channel,
                     ):
                         choices.append((entry_name, args))
             total_choices += len(choices)
@@ -205,29 +207,6 @@ def build_isolated_machine(
     return machine, report
 
 
-def _entry_arg_choices(pattern: ast.Pattern, int_domain, array_sizes, limit):
-    """Enumerate binder-argument tuples for one interface entry."""
-    import itertools
-
-    binder_types = []
-
-    def collect(p: ast.Pattern):
-        if isinstance(p, ast.PBind):
-            binder_types.append(p.type)
-        elif isinstance(p, ast.PRecord):
-            for item in p.items:
-                collect(item)
-        elif isinstance(p, ast.PUnion):
-            collect(p.value)
-
-    collect(pattern)
-    pools = [
-        enumerate_values(t, int_domain, array_sizes, limit=limit)
-        for t in binder_types
-    ]
-    return list(itertools.islice(itertools.product(*pools), limit))
-
-
 def verify_process(
     source: str | FrontendResult,
     process_name: str,
@@ -237,15 +216,24 @@ def verify_process(
     max_states: int | None = 200_000,
     opt_level: OptLevel = OptLevel.FULL,
     env_budget: int | None = None,
+    jobs: int | None = None,
 ) -> MemSafetyReport:
     """Exhaustively verify the memory safety of one process (§5.3);
     pass ``env_budget`` to bound the environment for processes whose
-    counters grow without bound."""
+    counters grow without bound.  With ``jobs`` set, the sharded
+    breadth-first :class:`~repro.verify.parallel.ParallelExplorer`
+    explores the isolated machine instead of the serial explorer."""
     front = frontend(source) if isinstance(source, str) else source
     machine, report = build_isolated_machine(
         front, process_name, int_domain, array_sizes,
         max_objects=max_objects, opt_level=opt_level, env_budget=env_budget,
     )
-    explorer = Explorer(machine, max_states=max_states)
-    report.result = explorer.explore()
+    if jobs is not None:
+        from repro.verify.parallel import ParallelExplorer
+
+        report.result = ParallelExplorer(
+            machine, jobs=jobs, max_states=max_states
+        ).explore()
+    else:
+        report.result = Explorer(machine, max_states=max_states).explore()
     return report

@@ -1,0 +1,436 @@
+"""Parallel state-space exploration (SPIN's answer was bit-state
+hashing; ours is sharded breadth-first search).
+
+The single-process :class:`~repro.verify.explorer.Explorer` walks the
+rendezvous-level state space depth-first.  This engine shards the same
+space across ``jobs`` workers:
+
+* **fingerprint-partitioned visited sets** — a state belongs to shard
+  ``stable_fingerprint(state) % jobs``; only that shard may declare it
+  new, so no state is ever counted twice no matter which worker
+  reaches it first;
+* **batched frontier exchange** — exploration proceeds in
+  level-synchronous rounds (one BFS depth per round): successor states
+  are routed to their owner shard in batches, deduplicated there, and
+  the survivors become the next round's work;
+* **work stealing** — deduplicated states are chunked onto a shared
+  queue and *any* idle worker pulls the next chunk, so a shard whose
+  frontier drains keeps expanding other shards' states (expansion is
+  pure given the snapshot; only dedup is owner-bound);
+* **deterministic merging** — within a round every candidate path to a
+  state is collected before dedup keeps the least move-index path, and
+  violations are sorted by ``(depth, path)`` before counterexamples
+  are rebuilt by deterministic replay.  Statistics and the first
+  violation are therefore identical run-to-run for *any* worker count,
+  including ``jobs=1``.
+
+Workers are forked processes (states travel as the pickle-safe
+portable snapshots of :meth:`Machine.snapshot_portable`); where fork
+is unavailable the same round algorithm runs inline, bit-for-bit
+identically, just without the parallelism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.errors import ESPError
+from repro.runtime.machine import Machine
+from repro.verify.counterexample import replay_path
+from repro.verify.explorer import ExploreResult, violation_kind
+from repro.verify.properties import Invariant, Violation
+from repro.verify.state import (
+    canonical_state,
+    is_quiescent,
+    pack_state,
+    stable_fingerprint,
+)
+
+
+@dataclass(frozen=True)
+class _Config:
+    """The exploration parameters every worker needs."""
+
+    jobs: int
+    check_deadlock: bool
+    quiescence_ok: bool
+    max_depth: int | None
+
+
+# A frontier candidate is (key_bytes, portable_snapshot, depth, path);
+# an expansion task drops the key (already deduplicated); a pending
+# violation is (kind, message, depth, path) — the trace is rebuilt by
+# replay in the coordinator.
+
+
+def _expand_state(machine: Machine, invariants, cfg: _Config, snap, depth,
+                  path):
+    """Expand one deduplicated state.  Returns ``(successors, pendings,
+    transitions, truncated)`` where successors carry their owner shard.
+
+    Mirrors the serial explorer's per-state semantics exactly: every
+    move application counts one transition even when it raises, settle
+    runs all ready processes and checks invariants, deadlock is tested
+    on move-less states before the depth bound applies."""
+    machine.restore_portable(snap)
+    moves = machine.enabled_moves()
+    successors: list[tuple] = []
+    pendings: list[tuple] = []
+    if not moves:
+        if cfg.check_deadlock:
+            blocked = machine.blocked_processes()
+            if blocked and not (cfg.quiescence_ok and is_quiescent(machine)):
+                names = ", ".join(ps.proc.name for ps in blocked)
+                pendings.append(
+                    ("deadlock", f"no enabled move; blocked: {names}",
+                     depth, path)
+                )
+        return successors, pendings, 0, False
+    if cfg.max_depth is not None and depth >= cfg.max_depth:
+        return successors, pendings, 0, True
+    transitions = 0
+    for index, move in enumerate(moves):
+        machine.restore_portable(snap)
+        next_path = path + (index,)
+        transitions += 1
+        try:
+            machine.apply(move)
+            machine.run_ready()
+        except ESPError as err:
+            pendings.append(
+                (violation_kind(err), err.format(), depth + 1, next_path)
+            )
+            continue
+        broken = False
+        for invariant in invariants:
+            message = invariant(machine)
+            if message is not None:
+                pendings.append(("invariant", message, depth + 1, next_path))
+                broken = True
+                break
+        if broken:
+            continue
+        key = pack_state(canonical_state(machine))
+        owner = stable_fingerprint(key) % cfg.jobs
+        successors.append(
+            (owner, key, machine.snapshot_portable(), depth + 1, next_path)
+        )
+    return successors, pendings, transitions, False
+
+
+def _dedup_batch(visited: set, batch) -> list[tuple]:
+    """Owner-side per-round dedup: drop already-visited states, keep
+    the least move-index path per new state, and return the survivors
+    in deterministic (key) order."""
+    best: dict[bytes, tuple] = {}
+    for key, snap, depth, path in batch:
+        if key in visited:
+            continue
+        current = best.get(key)
+        if current is None or path < current[2]:
+            best[key] = (snap, depth, path)
+    visited.update(best)
+    return [(key,) + best[key] for key in sorted(best)]
+
+
+def _worker_main(machine, invariants, cfg, conn, tasks) -> None:
+    """One worker process: owns a visited-set shard, answers dedup
+    requests for it, and steals expansion chunks from the shared task
+    queue until the round's sentinel arrives."""
+    visited: set[bytes] = set()
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "dedup":
+                conn.send(("new", _dedup_batch(visited, msg[1])))
+            elif op == "expand":
+                by_owner: dict[int, list] = defaultdict(list)
+                pendings: list[tuple] = []
+                transitions = 0
+                truncated = False
+                while True:
+                    chunk = tasks.get()
+                    if chunk is None:
+                        break
+                    for snap, depth, path in chunk:
+                        succ, pend, trans, trunc = _expand_state(
+                            machine, invariants, cfg, snap, depth, path
+                        )
+                        for owner, key, snap2, depth2, path2 in succ:
+                            by_owner[owner].append((key, snap2, depth2, path2))
+                        pendings.extend(pend)
+                        transitions += trans
+                        truncated = truncated or trunc
+                conn.send(
+                    ("expanded", dict(by_owner), pendings, transitions,
+                     truncated)
+                )
+            elif op == "stop":
+                break
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        pass
+    except Exception:  # surface worker crashes to the coordinator
+        import traceback
+
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+
+
+class _InlinePool:
+    """The round algorithm without processes (jobs=1, or fork
+    unavailable): same shard structure, same results."""
+
+    def __init__(self, machine, invariants, cfg: _Config):
+        self.machine = machine
+        self.invariants = invariants
+        self.cfg = cfg
+        self.visited = [set() for _ in range(cfg.jobs)]
+
+    def dedup(self, frontier: dict[int, list]) -> list[list[tuple]]:
+        return [
+            _dedup_batch(self.visited[w], frontier.get(w, []))
+            for w in range(self.cfg.jobs)
+        ]
+
+    def expand(self, chunks):
+        by_owner: dict[int, list] = defaultdict(list)
+        pendings: list[tuple] = []
+        transitions = 0
+        truncated = False
+        for chunk in chunks:
+            for snap, depth, path in chunk:
+                succ, pend, trans, trunc = _expand_state(
+                    self.machine, self.invariants, self.cfg, snap, depth, path
+                )
+                for owner, key, snap2, depth2, path2 in succ:
+                    by_owner[owner].append((key, snap2, depth2, path2))
+                pendings.extend(pend)
+                transitions += trans
+                truncated = truncated or trunc
+        return dict(by_owner), pendings, transitions, truncated
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessPool:
+    """Forked workers joined by per-worker pipes (commands, shard
+    results) and one shared task queue (work stealing)."""
+
+    def __init__(self, machine, invariants, cfg: _Config, ctx):
+        self.cfg = cfg
+        self.tasks = ctx.SimpleQueue()
+        self.conns = []
+        self.procs = []
+        for _ in range(cfg.jobs):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(machine, invariants, cfg, child_conn, self.tasks),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self.conns.append(parent_conn)
+            self.procs.append(proc)
+
+    def _recv(self, conn):
+        msg = conn.recv()
+        if msg[0] == "error":
+            raise RuntimeError(
+                "parallel verification worker failed:\n" + msg[1]
+            )
+        return msg
+
+    def dedup(self, frontier: dict[int, list]) -> list[list[tuple]]:
+        for w, conn in enumerate(self.conns):
+            conn.send(("dedup", frontier.get(w, [])))
+        return [self._recv(conn)[1] for conn in self.conns]
+
+    def expand(self, chunks):
+        # Command first so workers start draining the queue while the
+        # coordinator is still feeding it (a full pipe would otherwise
+        # deadlock both sides).
+        for conn in self.conns:
+            conn.send(("expand",))
+        for chunk in chunks:
+            self.tasks.put(chunk)
+        for _ in self.conns:
+            self.tasks.put(None)
+        by_owner: dict[int, list] = defaultdict(list)
+        pendings: list[tuple] = []
+        transitions = 0
+        truncated = False
+        for conn in self.conns:
+            _, worker_by_owner, pend, trans, trunc = self._recv(conn)
+            for owner, items in worker_by_owner.items():
+                by_owner[owner].extend(items)
+            pendings.extend(pend)
+            transitions += trans
+            truncated = truncated or trunc
+        return dict(by_owner), pendings, transitions, truncated
+
+    def close(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self.procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=10)
+        for conn in self.conns:
+            conn.close()
+
+
+class ParallelExplorer:
+    """Sharded breadth-first exploration with deterministic results.
+
+    Drop-in alternative to :class:`Explorer` for whole-machine
+    verification: same constructor surface plus ``jobs``.  On a clean
+    (violation-free, uncapped) run it reports exactly the serial
+    explorer's state and transition counts; violation selection is
+    BFS-deterministic — the first round containing a violation ends
+    the search (under ``stop_at_first``) and violations are ordered by
+    ``(depth, move-index path)``, so output is byte-identical for any
+    ``jobs`` value."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        invariants: list[Invariant] | None = None,
+        jobs: int = 1,
+        check_deadlock: bool = True,
+        quiescence_ok: bool = True,
+        max_states: int | None = None,
+        max_depth: int | None = None,
+        stop_at_first: bool = True,
+        batch_size: int = 32,
+        use_processes: bool | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.machine = machine
+        self.invariants = list(invariants or [])
+        self.jobs = jobs
+        self.max_states = max_states
+        self.stop_at_first = stop_at_first
+        self.batch_size = max(1, batch_size)
+        self.cfg = _Config(
+            jobs=jobs,
+            check_deadlock=check_deadlock,
+            quiescence_ok=quiescence_ok,
+            max_depth=max_depth,
+        )
+        fork_ok = "fork" in multiprocessing.get_all_start_methods()
+        if use_processes is None:
+            use_processes = jobs > 1 and fork_ok
+        elif use_processes and not fork_ok:
+            use_processes = False
+        self.use_processes = use_processes
+        self.backend = "processes" if use_processes else "inline"
+
+    def explore(self) -> ExploreResult:
+        machine = self.machine
+        result = ExploreResult()
+        started = time.perf_counter()
+        initial_portable = machine.snapshot_portable()  # pre-settle, for replay
+
+        if not self._settle_initial(result):
+            result.elapsed_seconds = time.perf_counter() - started
+            result.complete = False
+            return result
+
+        key0 = pack_state(canonical_state(machine))
+        snap0 = machine.snapshot_portable()
+        frontier = {stable_fingerprint(key0) % self.jobs: [(key0, snap0, 0, ())]}
+
+        pool = self._make_pool()
+        pendings_all: list[tuple] = []
+        truncated = False
+        depth = 0
+        try:
+            while frontier:
+                new_by_shard = pool.dedup(frontier)
+                new_count = sum(len(shard) for shard in new_by_shard)
+                if new_count == 0:
+                    break
+                result.states += new_count
+                result.memory_bytes += sum(
+                    len(key) for shard in new_by_shard for key, *_ in shard
+                )
+                if depth > 0:
+                    result.max_depth = depth
+                if (self.max_states is not None
+                        and result.states >= self.max_states):
+                    result.complete = False
+                    break
+                all_new = [
+                    (snap, d, path)
+                    for shard in new_by_shard
+                    for _key, snap, d, path in shard
+                ]
+                chunks = [
+                    all_new[i:i + self.batch_size]
+                    for i in range(0, len(all_new), self.batch_size)
+                ]
+                frontier, pendings, transitions, trunc = pool.expand(chunks)
+                result.transitions += transitions
+                truncated = truncated or trunc
+                pendings_all.extend(pendings)
+                if self.stop_at_first and pendings_all:
+                    break
+                depth += 1
+        finally:
+            pool.close()
+
+        if truncated:
+            result.complete = False
+        self._finish_violations(result, pendings_all, initial_portable)
+        if result.violations:
+            result.complete = False
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _make_pool(self):
+        if self.use_processes:
+            ctx = multiprocessing.get_context("fork")
+            return _ProcessPool(self.machine, self.invariants, self.cfg, ctx)
+        return _InlinePool(self.machine, self.invariants, self.cfg)
+
+    def _settle_initial(self, result: ExploreResult) -> bool:
+        """Run the initial state to its blocks; False when it already
+        violates (mirrors the serial explorer's first `_settle`)."""
+        try:
+            self.machine.run_ready()
+        except ESPError as err:
+            result.violations.append(
+                Violation(violation_kind(err), err.format(), [], 0)
+            )
+            return False
+        for invariant in self.invariants:
+            message = invariant(self.machine)
+            if message is not None:
+                result.violations.append(Violation("invariant", message, [], 0))
+                return False
+        return True
+
+    def _finish_violations(self, result: ExploreResult, pendings,
+                           initial_portable) -> None:
+        """Order pending violations deterministically and rebuild their
+        counterexample traces by replaying the move-index paths."""
+        pendings.sort(key=lambda p: (p[2], p[3], p[0], p[1]))
+        for kind, message, depth, path in pendings:
+            self.machine.restore_portable(initial_portable)
+            trace, _err = replay_path(self.machine, path)
+            result.violations.append(Violation(kind, message, trace, depth))

@@ -1,7 +1,21 @@
-"""Tests for counterexample formatting and violation grouping."""
+"""Tests for counterexample formatting, violation grouping, and
+deterministic trace replay."""
 
-from repro.verify import format_trace, report, shortest
+import pytest
+
+from repro import compile_source
+from repro.runtime.machine import Machine
+from repro.verify import (
+    Explorer,
+    ReplayError,
+    format_trace,
+    replay_path,
+    replay_violation,
+    report,
+    shortest,
+)
 from repro.verify.properties import Violation
+from repro.vmmc.retransmission import buggy_source, build_machine
 
 
 def make(kind, message, steps):
@@ -48,3 +62,99 @@ def test_violation_str_includes_trace():
     text = str(v)
     assert "[runtime] boom" in text
     assert "1. step-0" in text
+
+
+# -- deterministic replay ------------------------------------------------------
+
+
+ASSERT_FAIL = """
+channel c: int
+
+process prod {
+    out( c, 1);
+    out( c, 2);
+}
+
+process cons {
+    in( c, $x);
+    in( c, $y);
+    assert( y == 3);
+}
+"""
+
+DEADLOCK = """
+channel c: int
+
+process prod {
+    out( c, 1);
+}
+
+process cons {
+    in( c, $x);
+    in( c, $y);
+}
+"""
+
+
+def test_replay_reproduces_explorer_violation():
+    # The regression guarantee: a violation found by exploration can be
+    # replayed through a *fresh* machine and comes back identical.
+    found = Explorer(Machine(compile_source(ASSERT_FAIL))).explore()
+    assert not found.ok
+    original = found.violations[0]
+    replayed = replay_violation(Machine(compile_source(ASSERT_FAIL)), original)
+    assert replayed.kind == original.kind
+    assert replayed.message == original.message
+    assert replayed.trace == original.trace
+    assert replayed.depth == original.depth
+
+
+def test_replay_reproduces_retransmission_bug():
+    source = buggy_source("duplicate_delivery", window=1, messages=2)
+    found = Explorer(build_machine(source)).explore()
+    assert not found.ok
+    original = found.violations[0]
+    replayed = replay_violation(build_machine(source), original)
+    assert (replayed.kind, replayed.message, replayed.trace, replayed.depth) \
+        == (original.kind, original.message, original.trace, original.depth)
+
+
+def test_replay_reproduces_deadlock():
+    found = Explorer(Machine(compile_source(DEADLOCK)),
+                     quiescence_ok=False).explore()
+    assert not found.ok
+    original = found.violations[0]
+    assert original.kind == "deadlock"
+    replayed = replay_violation(Machine(compile_source(DEADLOCK)), original,
+                                quiescence_ok=False)
+    assert replayed.kind == "deadlock"
+    assert replayed.trace == original.trace
+
+
+def test_replay_path_returns_descriptions_and_error():
+    machine = Machine(compile_source(ASSERT_FAIL))
+    trace, err = replay_path(machine, [0, 0])
+    assert len(trace) == 2
+    assert all("prod -> cons on c" in step for step in trace)
+    assert err is not None  # the assertion fires on the second delivery
+
+
+def test_replay_path_rejects_bad_index():
+    machine = Machine(compile_source(DEADLOCK))
+    with pytest.raises(ReplayError):
+        replay_path(machine, [5])
+
+
+def test_replay_violation_rejects_stale_trace():
+    stale = Violation("assertion", "old", ["nobody -> nothing on ghostC"], 1)
+    with pytest.raises(ReplayError):
+        replay_violation(Machine(compile_source(ASSERT_FAIL)), stale)
+
+
+def test_replay_violation_rejects_clean_trace():
+    # A prefix that violates nothing must not silently "succeed".
+    found = Explorer(Machine(compile_source(ASSERT_FAIL))).explore()
+    partial = Violation("assertion", "partial",
+                        found.violations[0].trace[:1], 1)
+    with pytest.raises(ReplayError):
+        replay_violation(Machine(compile_source(ASSERT_FAIL)), partial)

@@ -1,0 +1,236 @@
+"""Differential tests for the parallel verification engine.
+
+The contract under test: :class:`ParallelExplorer` is a drop-in
+replacement for the serial :class:`Explorer` whose *results* — state
+count, transition count, verdict, and rendered violations — do not
+depend on the worker count, the backend (forked processes vs. inline),
+or the run.  The property test feeds both engines randomly generated
+well-typed programs; the directed tests pin down the retransmission
+model, the CLI output, and the edge cases (caps, invariants, initial
+violations).
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+from hypothesis import given, settings
+
+from repro import compile_source
+from repro.runtime.machine import Machine
+from repro.verify.explorer import Explorer
+from repro.verify.parallel import ParallelExplorer
+from repro.vmmc.retransmission import buggy_source, build_machine
+from tests.strategies import esp_programs
+
+
+def _serial(source: str, **kw) -> object:
+    return Explorer(Machine(compile_source(source)), **kw).explore()
+
+
+def _parallel(source: str, jobs: int, **kw) -> object:
+    return ParallelExplorer(
+        Machine(compile_source(source)), jobs=jobs, **kw
+    ).explore()
+
+
+def _stats(result) -> tuple:
+    return (result.states, result.transitions, len(result.violations),
+            result.ok, result.complete)
+
+
+def _rendered(result) -> str:
+    return "\n".join(str(v) for v in result.violations)
+
+
+# -- the property: parallel == serial on random programs -----------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(esp_programs())
+def test_parallel_matches_serial_on_random_programs(source):
+    # Full exploration (no early stop, no caps) is where the engines
+    # must agree exactly: same reachable set, same transition count,
+    # same violation multiset.  quiescence_ok=False turns the generated
+    # over-waiting consumers into detectable deadlocks.
+    serial = _serial(source, quiescence_ok=False, stop_at_first=False)
+    for jobs in (1, 2, 4):
+        par = _parallel(source, jobs, quiescence_ok=False,
+                        stop_at_first=False)
+        assert _stats(par) == _stats(serial), source
+        assert sorted((v.kind, v.message) for v in par.violations) == \
+            sorted((v.kind, v.message) for v in serial.violations), source
+
+
+# -- directed determinism checks ----------------------------------------------
+
+
+BUGGY = buggy_source("duplicate_delivery", window=1, messages=2)
+
+
+def test_violations_identical_across_jobs_and_backends():
+    runs = [
+        ParallelExplorer(build_machine(BUGGY), jobs=jobs,
+                         use_processes=procs).explore()
+        for jobs, procs in [(1, False), (2, False), (4, False),
+                            (2, True), (4, True)]
+    ]
+    baseline = runs[0]
+    assert not baseline.ok
+    for other in runs[1:]:
+        assert _stats(other) == _stats(baseline)
+        assert _rendered(other) == _rendered(baseline)
+
+
+def test_run_to_run_determinism_with_processes():
+    first = ParallelExplorer(build_machine(BUGGY), jobs=2,
+                             use_processes=True).explore()
+    second = ParallelExplorer(build_machine(BUGGY), jobs=2,
+                              use_processes=True).explore()
+    assert _stats(first) == _stats(second)
+    assert _rendered(first) == _rendered(second)
+
+
+def test_full_exploration_matches_serial_counts():
+    serial = Explorer(build_machine(BUGGY), stop_at_first=False).explore()
+    par = ParallelExplorer(build_machine(BUGGY), jobs=3,
+                           stop_at_first=False).explore()
+    assert (par.states, par.transitions) == (serial.states, serial.transitions)
+    assert len(par.violations) == len(serial.violations)
+
+
+def test_parallel_counterexample_replays_like_serial():
+    # The BFS engine reconstructs traces by replay; every rendered step
+    # must use the same human-readable move descriptions the serial
+    # explorer records directly.
+    par = ParallelExplorer(build_machine(BUGGY), jobs=2).explore()
+    serial = Explorer(build_machine(BUGGY)).explore()
+    assert par.violations and serial.violations
+    serial_steps = set(serial.violations[0].trace)
+    # BFS finds a shortest counterexample; its steps are drawn from the
+    # same move-description vocabulary.
+    assert par.violations[0].trace
+    assert all(isinstance(step, str) and "->" in step
+               for step in par.violations[0].trace)
+    assert par.violations[0].depth == len(par.violations[0].trace)
+    assert serial_steps  # serial produced a real trace too
+
+
+# -- CLI byte-identity ---------------------------------------------------------
+
+
+def _cli_verify(capsys, path: str, jobs: int) -> tuple[int, str]:
+    from repro.tools.cli import main
+
+    code = main(["verify", path, "--jobs", str(jobs)])
+    out = capsys.readouterr().out
+    # The elapsed-seconds field is the only thing allowed to differ.
+    return code, re.sub(r"\d+\.\d+s", "TIMEs", out)
+
+
+def test_cli_output_identical_for_any_jobs(capsys, tmp_path):
+    target = tmp_path / "buggy.esp"
+    target.write_text(BUGGY)
+    code1, out1 = _cli_verify(capsys, str(target), jobs=1)
+    code4, out4 = _cli_verify(capsys, str(target), jobs=4)
+    assert code1 == code4 == 1  # violation found
+    assert "violation" in out1
+    assert out1 == out4
+
+
+def test_cli_clean_program_identical_for_any_jobs(capsys):
+    path = "examples/esp/retransmission.esp"
+    code1, out1 = _cli_verify(capsys, path, jobs=1)
+    code4, out4 = _cli_verify(capsys, path, jobs=4)
+    assert code1 == code4 == 0
+    assert out1 == out4
+
+
+# -- edge cases ----------------------------------------------------------------
+
+
+SMALL_OK = """
+channel c: int
+
+process prod {
+    out( c, 1);
+    out( c, 2);
+}
+
+process cons {
+    in( c, $x);
+    in( c, $y);
+    assert( y == 2);
+}
+"""
+
+
+def test_jobs_must_be_positive():
+    machine = Machine(compile_source(SMALL_OK))
+    with pytest.raises(ValueError):
+        ParallelExplorer(machine, jobs=0)
+
+
+def test_backend_selection():
+    assert ParallelExplorer(Machine(compile_source(SMALL_OK)),
+                            jobs=1).backend == "inline"
+    assert ParallelExplorer(Machine(compile_source(SMALL_OK)),
+                            jobs=2).backend == "processes"
+    assert ParallelExplorer(Machine(compile_source(SMALL_OK)), jobs=2,
+                            use_processes=False).backend == "inline"
+
+
+def test_max_states_marks_incomplete():
+    serial = _serial(SMALL_OK)
+    par = _parallel(SMALL_OK, 2, max_states=1)
+    assert par.states <= serial.states
+    assert not par.complete
+
+
+def test_max_depth_marks_incomplete():
+    par = _parallel(SMALL_OK, 2, max_depth=1)
+    assert not par.complete
+    assert par.ok  # the truncated prefix is violation-free
+
+
+def test_invariant_violations_match_serial():
+    def never_two_done(machine):
+        from repro.runtime.interp import Status
+
+        done = sum(1 for ps in machine.processes
+                   if ps.status is Status.DONE)
+        if done >= 2:
+            return "two processes finished"
+        return None
+
+    serial = Explorer(Machine(compile_source(SMALL_OK)),
+                      invariants=[never_two_done],
+                      stop_at_first=False).explore()
+    for jobs, procs in [(1, False), (2, True)]:
+        par = ParallelExplorer(Machine(compile_source(SMALL_OK)),
+                               invariants=[never_two_done], jobs=jobs,
+                               stop_at_first=False,
+                               use_processes=procs).explore()
+        assert _stats(par) == _stats(serial)
+        assert sorted(v.message for v in par.violations) == \
+            sorted(v.message for v in serial.violations)
+
+
+def test_initial_state_violation_reported():
+    source = """
+channel c: int
+
+process p {
+    assert( 1 == 2);
+    out( c, 0);
+}
+
+process q {
+    in( c, $x);
+}
+"""
+    par = _parallel(source, 2)
+    assert not par.ok
+    assert par.violations[0].kind == "assertion"
+    assert par.violations[0].depth == 0
