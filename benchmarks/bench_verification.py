@@ -13,12 +13,16 @@ counters), plus seeded use-after-free / double-free / leak bugs that
 must each be caught.
 """
 
+import json
 import os
+import pathlib
 
 import pytest
 
 from benchmarks.harness import Table
+from repro.api import compile_source
 from repro.lang.program import frontend
+from repro.runtime.machine import Machine
 from repro.verify import build_isolated_machine, verify_process
 from repro.verify.explorer import Explorer
 from repro.verify.parallel import ParallelExplorer
@@ -228,3 +232,158 @@ def test_parallel_scaling_table():
     table.note("asserted invariant: states/transitions/verdict identical "
                "for every jobs value (and to the serial explorer)")
     table.show()
+
+
+# -- serial throughput + regression gate ---------------------------------------
+#
+# The collapse-compressed, copy-on-write hot path is a performance
+# claim, so it gets a regression gate: every run writes its measured
+# throughput to BENCH_verify.json and fails if any model's states/sec
+# fell more than 30% below the committed baseline (generous because
+# container CPU time is noisy).  The seed-commit numbers are kept
+# inline for the honest before/after comparison in the table.
+
+
+def pipeline_source(stages: int, messages: int) -> str:
+    """A relay pipeline: ``source -> relay0 -> ... -> sink``.  State
+    count grows combinatorially with stages x messages while each
+    transition touches only two processes — the model family that
+    rewards (or exposes) copy-on-write snapshots."""
+    lines = []
+    for i in range(stages + 1):
+        lines.append(f"channel c{i}: int")
+    lines.append("")
+    lines.append("process source {")
+    for m in range(messages):
+        lines.append(f"    out( c0, {m});")
+    lines.append("}")
+    for i in range(stages):
+        lines.append(f"process relay{i} {{")
+        lines.append("    while (true) {")
+        lines.append(f"        in( c{i}, $x);")
+        lines.append(f"        out( c{i + 1}, x);")
+        lines.append("    }")
+        lines.append("}")
+    lines.append("process sink {")
+    lines.append("    $n = 0;")
+    lines.append(f"    while (n < {messages}) {{")
+    lines.append(f"        in( c{stages}, $v);")
+    lines.append("        n = n + 1;")
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+_BENCH_PATH = pathlib.Path(__file__).with_name("BENCH_verify.json")
+_REGRESSION_TOLERANCE = 0.30
+
+# Serial-explorer throughput at the seed commit (702f570), measured on
+# this container: {states, transitions, states/sec, bytes/state}.  The
+# memory figure at the seed was an estimate (packed canonical-state
+# sizes); post-change it is the actual visited-store footprint.
+SEED_BASELINE = {
+    "retransmission w2m3": dict(states=873, transitions=2153,
+                                states_per_sec=3679, bytes_per_state=815.6),
+    "retransmission w3m4": dict(states=3013, transitions=7605,
+                                states_per_sec=3406, bytes_per_state=819.3),
+    "vmmc sm1": dict(states=5713, transitions=14422,
+                     states_per_sec=4974, bytes_per_state=605.1),
+    "pipeline s12m4": dict(states=1186, transitions=3308,
+                           states_per_sec=3174, bytes_per_state=1318.4),
+    "pipeline s32m4": dict(states=47501, transitions=166788,
+                           states_per_sec=1199, bytes_per_state=3138.0),
+}
+
+
+def _throughput_models():
+    if _SMOKE:
+        return {
+            "retransmission w1m2": lambda: build_retransmission_machine(
+                protocol_source(1, 2)
+            ),
+            "pipeline s10m3": lambda: Machine(
+                compile_source(pipeline_source(10, 3))
+            ),
+        }
+    front = frontend(VMMC_ESP_SOURCE)
+    return {
+        "retransmission w2m3": lambda: build_retransmission_machine(
+            protocol_source(2, 3)
+        ),
+        "retransmission w3m4": lambda: build_retransmission_machine(
+            protocol_source(3, 4)
+        ),
+        "vmmc sm1": lambda: build_isolated_machine(
+            front, "sm1", max_objects=24, **PLANS["sm1"]
+        )[0],
+        "pipeline s12m4": lambda: Machine(
+            compile_source(pipeline_source(12, 4))
+        ),
+        "pipeline s32m4": lambda: Machine(
+            compile_source(pipeline_source(32, 4))
+        ),
+    }
+
+
+def test_throughput_table_and_regression_gate():
+    mode = "smoke" if _SMOKE else "full"
+    committed = {}
+    if _BENCH_PATH.exists():
+        committed = json.loads(_BENCH_PATH.read_text())
+
+    table = Table(
+        "Serial exploration throughput (collapse store + COW snapshots)",
+        ["model", "states", "transitions", "time (s)", "states/s",
+         "B/state", "vs seed"],
+    )
+    rows = {}
+    for name, make in _throughput_models().items():
+        result = Explorer(make(), stop_at_first=False).explore()
+        assert result.ok and result.complete, (name, result.violations[:1])
+        rate = result.states / max(result.elapsed_seconds, 1e-9)
+        per_state = result.memory_bytes / max(result.states, 1)
+        seed = SEED_BASELINE.get(name)
+        if seed is not None:
+            # The state space itself must not have drifted.
+            assert (result.states, result.transitions) == \
+                (seed["states"], seed["transitions"]), name
+        speedup = (round(rate / seed["states_per_sec"], 2)
+                   if seed else None)
+        rows[name] = dict(
+            states=result.states,
+            transitions=result.transitions,
+            elapsed_seconds=round(result.elapsed_seconds, 3),
+            states_per_sec=round(rate, 1),
+            memory_bytes=result.memory_bytes,
+            bytes_per_state=round(per_state, 1),
+            speedup_vs_seed=speedup,
+        )
+        table.add(name, result.states, result.transitions,
+                  round(result.elapsed_seconds, 3), int(rate),
+                  round(per_state, 1),
+                  f"{speedup}x" if speedup else "-")
+    table.note("paper: biggest process = 2,251 states, 0.5 s, 2.2 MB; "
+               "B/state is the store's actual footprint")
+    if mode == "full":
+        table.note("seed baseline (commit 702f570): e.g. pipeline s32m4 at "
+                   "1199 states/s and 3138 B/state")
+    table.show()
+
+    # Regenerate the artifact first so a gate failure still leaves the
+    # fresh numbers on disk for inspection.
+    merged = dict(committed)
+    merged[mode] = rows
+    _BENCH_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+    regressions = []
+    for name, row in rows.items():
+        old = committed.get(mode, {}).get(name)
+        if not old:
+            continue
+        floor = old["states_per_sec"] * (1.0 - _REGRESSION_TOLERANCE)
+        if row["states_per_sec"] < floor:
+            regressions.append(
+                f"{name}: {row['states_per_sec']:.0f} states/s < "
+                f"{floor:.0f} (baseline {old['states_per_sec']:.0f})"
+            )
+    assert not regressions, "throughput regressed: " + "; ".join(regressions)

@@ -36,6 +36,38 @@ class HeapCounters:
         return (self.allocations, self.frees, self.links, self.unlinks)
 
 
+class CowCounters:
+    """Copy-on-write effectiveness counters for the verifier's
+    snapshot/restore hot path (`espc verify --stats`)."""
+
+    __slots__ = ("records_built", "records_reused", "restores_undone",
+                 "restores_rebuilt", "restores_fast")
+
+    def __init__(self):
+        self.records_built = 0       # heap-object records re-encoded
+        self.records_reused = 0      # records shared from the base dict
+        self.restores_undone = 0     # same-generation restores (undo dirty)
+        self.restores_rebuilt = 0    # cross-generation restores
+        self.restores_fast = 0       # restores with nothing to undo
+
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def _record_of(obj: HeapObject) -> tuple:
+    """The immutable, structurally-shareable record of one object."""
+    return (obj.kind, obj.tag, obj.mutable, obj.refcount, obj.live,
+            tuple(obj.data), obj.owner)
+
+
+def _object_of(oid: int, rec: tuple) -> HeapObject:
+    kind, tag, mutable, refcount, live, data, owner = rec
+    obj = HeapObject(oid, kind, list(data), mutable, tag, owner)
+    obj.refcount = refcount
+    obj.live = live
+    return obj
+
+
 class Heap:
     """All heap objects of one machine."""
 
@@ -44,6 +76,22 @@ class Heap:
         self.next_oid = 1
         self.max_objects = max_objects
         self.counters = HeapCounters()
+        self.cow = CowCounters()
+        # Copy-on-write bookkeeping: `_touched` holds the oids whose
+        # object changed since `_base_records` (the record dict handed
+        # out by the last snapshot_records/restore_records) was current.
+        # Retired oids split into a shared frozen base plus the current
+        # branch's additions so snapshots never copy the whole set.
+        self._touched: set[int] = set()
+        self._base_records: dict[int, tuple] | None = None
+        self._retired_base: frozenset[int] = frozenset()
+        self._retired_new: set[int] = set()
+
+    def touch(self, oid: int) -> None:
+        """Mark an object dirty: its record must be re-encoded by the
+        next snapshot.  Every in-place mutation outside this class
+        (e.g. a store into a mutable slot) must call this."""
+        self._touched.add(oid)
 
     # -- allocation ------------------------------------------------------------
 
@@ -65,6 +113,7 @@ class Heap:
         oid = self._new_oid()
         self.objects[oid] = HeapObject(oid, kind, data, mutable, tag, owner)
         self.counters.allocations += 1
+        self._touched.add(oid)
         return Ref(oid)
 
     # -- access -----------------------------------------------------------------
@@ -92,6 +141,7 @@ class Heap:
         obj = self.get(ref)
         obj.refcount += 1
         self.counters.links += 1
+        self._touched.add(ref.oid)
 
     def unlink(self, ref: Ref) -> None:
         obj = self.objects.get(ref.oid)
@@ -101,6 +151,7 @@ class Heap:
                 f"object {ref.oid} (double free)"
             )
         self.counters.unlinks += 1
+        self._touched.add(ref.oid)
         obj.refcount -= 1
         if obj.refcount < 0:
             raise MemorySafetyError(f"negative reference count on object {ref.oid}")
@@ -115,8 +166,8 @@ class Heap:
         # The slot is reclaimed: drop the payload so leaks are visible as
         # live objects, matching the bounded objectId table of §5.2.
         self.objects.pop(obj.oid, None)
-        self._retired = getattr(self, "_retired", set())
-        self._retired.add(obj.oid)
+        self._touched.add(obj.oid)
+        self._retired_new.add(obj.oid)
 
     # -- deep operations ------------------------------------------------------------
 
@@ -138,6 +189,7 @@ class Heap:
         """Flip flavor in place (elided cast); caller checked uniqueness."""
         obj = self.get(ref)
         obj.mutable = mutable
+        self._touched.add(ref.oid)
         for child in obj.children():
             self.set_mutability_deep(child, mutable)
 
@@ -162,4 +214,82 @@ class Heap:
         return [self.to_python(v) for v in obj.data]
 
     def was_freed(self, oid: int) -> bool:
-        return oid in getattr(self, "_retired", set())
+        return oid in self._retired_new or oid in self._retired_base
+
+    # -- copy-on-write snapshots ------------------------------------------------
+
+    def snapshot_records(self) -> tuple[dict[int, tuple], int, frozenset]:
+        """Immutable per-object records of the whole heap, structurally
+        shared with the previous snapshot: only objects touched since
+        then are re-encoded.  The returned dict is owned by the heap
+        and must never be mutated by the caller."""
+        base = self._base_records
+        touched = self._touched
+        cow = self.cow
+        if base is None:
+            base = {oid: _record_of(obj) for oid, obj in self.objects.items()}
+            cow.records_built += len(base)
+        elif touched:
+            base = dict(base)
+            objects = self.objects
+            for oid in touched:
+                obj = objects.get(oid)
+                if obj is None:
+                    base.pop(oid, None)
+                else:
+                    base[oid] = _record_of(obj)
+                    cow.records_built += 1
+            cow.records_reused += len(base) - len(touched & base.keys())
+        else:
+            cow.records_reused += len(base)
+        self._base_records = base
+        if touched:
+            self._touched = set()
+        if self._retired_new:
+            self._retired_base = self._retired_base | self._retired_new
+            self._retired_new = set()
+        return base, self.next_oid, self._retired_base
+
+    def restore_records(self, records: dict[int, tuple], next_oid: int,
+                        retired) -> None:
+        """Restore the heap to a :meth:`snapshot_records` state.  When
+        restoring to the generation we branched from, only this
+        branch's touched objects are undone; across generations, an
+        object whose current record *is* the target record is skipped."""
+        objects = self.objects
+        base = self._base_records
+        touched = self._touched
+        cow = self.cow
+        if records is base:
+            if touched:
+                cow.restores_undone += 1
+                for oid in touched:
+                    rec = records.get(oid)
+                    if rec is None:
+                        objects.pop(oid, None)
+                    else:
+                        objects[oid] = _object_of(oid, rec)
+                self._touched = set()
+            else:
+                cow.restores_fast += 1
+        else:
+            cow.restores_rebuilt += 1
+            for oid in [o for o in objects if o not in records]:
+                del objects[oid]
+            if base is not None:
+                current = base.get
+                for oid, rec in records.items():
+                    if (oid in objects and oid not in touched
+                            and current(oid) is rec):
+                        continue
+                    objects[oid] = _object_of(oid, rec)
+            else:
+                for oid, rec in records.items():
+                    objects[oid] = _object_of(oid, rec)
+            self._base_records = records
+            self._touched = set()
+        self.next_oid = next_oid
+        if type(retired) is not frozenset:
+            retired = frozenset(retired)
+        self._retired_base = retired
+        self._retired_new = set()

@@ -92,9 +92,18 @@ class InterpCounters:
 
 class ProcessState:
     """Mutable execution state of one process (PC + locals, §6.1:
-    a context switch saves only the program counter)."""
+    a context switch saves only the program counter).
 
-    __slots__ = ("proc", "pid", "pc", "locals", "status", "block", "wait_mask", "steps")
+    ``version`` is a dirty counter for the verifier's copy-on-write
+    snapshots: every mutation path bumps it, and the cached snapshot
+    record (``_record``/``_record_version``) plus the cached canonical
+    encoding (``_canon``/``_canon_pending``) are valid exactly while it
+    stands still.  See :meth:`repro.runtime.machine.Machine.snapshot`.
+    """
+
+    __slots__ = ("proc", "pid", "pc", "locals", "status", "block", "wait_mask",
+                 "steps", "version", "_record", "_record_version", "_canon",
+                 "_canon_pending")
 
     def __init__(self, proc: ir.IRProcess):
         self.proc = proc
@@ -105,6 +114,11 @@ class ProcessState:
         self.block: BlockInfo | None = None
         self.wait_mask = 0
         self.steps = 0
+        self.version = 0
+        self._record = None
+        self._record_version = -1
+        self._canon = None
+        self._canon_pending = None
 
     def __repr__(self) -> str:
         return f"<{self.proc.name} pc={self.pc} {self.status.value}>"
@@ -397,6 +411,7 @@ def _store_slot(heap: Heap, obj, index: int, value: Value, fresh: bool,
     if isinstance(value, Ref) and (not fresh or extra_link):
         heap.link(value)
     obj.data[index] = value
+    heap._touched.add(obj.oid)
     if isinstance(old, Ref):
         heap.unlink(old)
 
@@ -413,6 +428,8 @@ def run_until_block(machine, ps: ProcessState) -> None:
     counters: InterpCounters = machine.counters
     instrs = ps.proc.instrs
     n = len(instrs)
+    ps.version += 1  # dirty for copy-on-write snapshots
+    machine._dirty_procs.add(ps)
     while True:
         if ps.pc >= n:
             ps.status = Status.DONE

@@ -37,7 +37,7 @@ from repro.runtime.interp import (
     try_match,
     try_match_components,
 )
-from repro.runtime.values import HeapObject, Ref, Value
+from repro.runtime.values import Ref, Value
 
 
 # ---------------------------------------------------------------------------
@@ -99,6 +99,29 @@ Move = Rendezvous | ExternalDeliver | ExternalAccept
 # ---------------------------------------------------------------------------
 
 
+class SnapshotCounters:
+    """Copy-on-write hit rates of the snapshot/restore hot path
+    (`espc verify --stats`)."""
+
+    __slots__ = ("proc_records_built", "proc_records_reused",
+                 "proc_restores", "proc_restores_skipped",
+                 "restore_sync_hits")
+
+    def __init__(self):
+        self.proc_records_built = 0
+        self.proc_records_reused = 0
+        self.proc_restores = 0
+        self.proc_restores_skipped = 0
+        self.restore_sync_hits = 0
+
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def _pid_of(ps: ProcessState) -> int:
+    return ps.pid
+
+
 class Machine:
     """One instantiated ESP program (see module docstring)."""
 
@@ -139,11 +162,18 @@ class Machine:
         self.heap = Heap(max_objects=self.max_objects)
         self.evaluator = Evaluator(self.heap, self.program.consts)
         self.counters = InterpCounters()
+        self.snap_counters = SnapshotCounters()
         self.processes = [ProcessState(p) for p in self.program.processes]
         self._env_ps = ProcessState(
             ir.IRProcess(name="<external>", pid=-1)
         )
         self.prints: list[tuple[str, list]] = []
+        # Processes mutated since `_sync_state` (the last state passed to
+        # :meth:`restore`) — the verifier's restore-to-where-I-just-was
+        # fast path undoes exactly these instead of walking every process.
+        self._dirty_procs: set[ProcessState] = set()
+        self._sync_state = None
+        self._ready: set[ProcessState] = set(self.processes)
 
     # -- printing ---------------------------------------------------------------
 
@@ -155,16 +185,26 @@ class Machine:
     # -- running ------------------------------------------------------------------
 
     def run_ready(self) -> int:
-        """Run every READY process to its next block; returns how many ran."""
+        """Run every READY process to its next block; returns how many ran.
+
+        The READY set is maintained at the status-transition sites
+        (reset, :meth:`_resume_sender`, restore), so settling after a
+        move costs O(processes that can run), not O(all processes).
+        Running a process never makes another READY (resumption only
+        happens through :meth:`apply`), so one pass in pid order is
+        exactly the historical full scan."""
         self._validate_externals()
+        ready = self._ready
+        if not ready:
+            return 0
         ran = 0
-        for ps in self.processes:
-            if ps.status is Status.READY:
-                self.counters.context_switches += 1
-                run_until_block(self, ps)
-                if ps.status is Status.BLOCKED and ps.block.kind == "out":
-                    self._check_out_matchable(ps)
-                ran += 1
+        for ps in sorted(ready, key=_pid_of):
+            ready.discard(ps)
+            self.counters.context_switches += 1
+            run_until_block(self, ps)
+            if ps.status is Status.BLOCKED and ps.block.kind == "out":
+                self._check_out_matchable(ps)
+            ran += 1
         return ran
 
     def _check_out_matchable(self, ps: ProcessState) -> None:
@@ -445,6 +485,8 @@ class Machine:
 
     def _deliver(self, receiver: ProcessState, pattern: ast.Pattern,
                  values: list[Value], fresh: list[bool], fused: bool) -> None:
+        receiver.version += 1  # dirty for copy-on-write snapshots
+        self._dirty_procs.add(receiver)
         heap = self.heap
         if not fused:
             value, f = values[0], fresh[0]
@@ -486,6 +528,8 @@ class Machine:
             heap.unlink(value)
 
     def _resume_sender(self, sender: ProcessState, s_arm: int | None) -> None:
+        sender.version += 1  # dirty for copy-on-write snapshots
+        self._dirty_procs.add(sender)
         if s_arm is None:
             sender.pc += 1
         else:
@@ -494,6 +538,7 @@ class Machine:
         sender.status = Status.READY
         sender.block = None
         sender.wait_mask = 0
+        self._ready.add(sender)
 
     def _resume_receiver(self, receiver: ProcessState, r_arm: int | None) -> None:
         self._resume_sender(receiver, r_arm)  # identical mechanics
@@ -626,9 +671,34 @@ class Machine:
     # -- snapshot / restore ------------------------------------------------------------
 
     def snapshot(self):
-        """A full copy of the dynamic state (for the verifier)."""
-        procs = []
-        for ps in self.processes:
+        """A structurally-shared copy of the dynamic state (for the
+        verifier).  Copy-on-write: per-process and per-heap-object
+        records are immutable and reused verbatim from the previous
+        snapshot when the process/object was not touched since, so a
+        transition only re-records what it mutated.  The records (and
+        the heap dict itself) are shared across snapshots and must
+        never be mutated by the caller."""
+        counters = self.snap_counters
+        sync = self._sync_state
+        if sync is not None:
+            # Every process outside the dirty set still matches the
+            # last-restored state, so its record can be copied from that
+            # state's procs tuple without even loading the ProcessState.
+            dirty = self._dirty_procs
+            procs_list = list(sync[0])
+            for ps in dirty:
+                procs_list[ps.pid] = self._record_proc(ps, counters)
+            counters.proc_records_reused += len(procs_list) - len(dirty)
+            procs = tuple(procs_list)
+        else:
+            record = self._record_proc
+            procs = tuple(record(ps, counters) for ps in self.processes)
+        heap_records, next_oid, retired = self.heap.snapshot_records()
+        ext = {name: bridge.snapshot() for name, bridge in self.externals.items()}
+        return (procs, heap_records, next_oid, retired, ext)
+
+    def _record_proc(self, ps: ProcessState, counters):
+        if ps._record_version != ps.version:
             block = None
             if ps.block is not None:
                 b = ps.block
@@ -641,34 +711,72 @@ class Machine:
                     b.fused,
                     tuple(e.index for e in b.arms),
                 )
-            procs.append((ps.pc, dict(ps.locals), ps.status, block, ps.wait_mask))
-        heap_objs = {
-            oid: (obj.kind, obj.tag, obj.mutable, obj.refcount, obj.live,
-                  list(obj.data), obj.owner)
-            for oid, obj in self.heap.objects.items()
-        }
-        ext = {name: bridge.snapshot() for name, bridge in self.externals.items()}
-        retired = frozenset(getattr(self.heap, "_retired", set()))
-        return (tuple(procs), heap_objs, self.heap.next_oid, retired, ext)
+            ps._record = (ps.pc, dict(ps.locals), ps.status, block,
+                          ps.wait_mask)
+            ps._record_version = ps.version
+            # Promote a canonical encoding computed since the last
+            # mutation (verify/state.py leaves it pending because the
+            # record it must be keyed to does not exist yet).
+            pending = ps._canon_pending
+            ps._canon = ((ps._record, pending[1])
+                         if pending is not None and pending[0] == ps.version
+                         else None)
+            ps._canon_pending = None
+            counters.proc_records_built += 1
+        else:
+            counters.proc_records_reused += 1
+        return ps._record
 
     def restore(self, state) -> None:
-        procs, heap_objs, next_oid, retired, ext = state
-        for ps, (pc, locals_, status, block, wait_mask) in zip(self.processes, procs):
-            ps.pc = pc
-            ps.locals = dict(locals_)
-            ps.status = status
-            ps.wait_mask = wait_mask
-            ps.block = self._rebuild_block(ps, block)
-        self.heap.objects = {}
-        for oid, (kind, tag, mutable, refcount, live, data, owner) in heap_objs.items():
-            obj = HeapObject(oid, kind, list(data), mutable, tag, owner)
-            obj.refcount = refcount
-            obj.live = live
-            self.heap.objects[oid] = obj
-        self.heap.next_oid = next_oid
-        self.heap._retired = set(retired)
+        """Restore a :meth:`snapshot` state.  Diff-based: a process
+        whose current record *is* the target record (and which was not
+        mutated since that record was taken) is skipped entirely.
+        Restoring the same state that was restored last (the DFS
+        explorer's per-move pattern) walks only the processes dirtied
+        since, not the whole process list."""
+        procs, heap_records, next_oid, retired, ext = state
+        counters = self.snap_counters
+        dirty = self._dirty_procs
+        if state is self._sync_state:
+            counters.restore_sync_hits += 1
+            if dirty:
+                for ps in dirty:
+                    self._restore_proc(ps, procs[ps.pid], counters)
+                dirty.clear()
+        else:
+            for ps, rec in zip(self.processes, procs):
+                if ps._record is rec and ps._record_version == ps.version:
+                    counters.proc_restores_skipped += 1
+                    continue
+                self._restore_proc(ps, rec, counters)
+            self._sync_state = state
+            dirty.clear()
+        self.heap.restore_records(heap_records, next_oid, retired)
         for name, bridge_state in ext.items():
             self.externals[name].restore(bridge_state)
+
+    def _restore_proc(self, ps: ProcessState, rec, counters) -> None:
+        if ps._record is rec and ps._record_version == ps.version:
+            counters.proc_restores_skipped += 1
+            return
+        counters.proc_restores += 1
+        pc, locals_, status, block, wait_mask = rec
+        ps.pc = pc
+        ps.locals = dict(locals_)
+        ps.status = status
+        if status is Status.READY:
+            self._ready.add(ps)
+        else:
+            self._ready.discard(ps)
+        ps.wait_mask = wait_mask
+        ps.block = self._rebuild_block(ps, block)
+        ps.version += 1
+        ps._record = rec
+        ps._record_version = ps.version
+        canon = ps._canon
+        if canon is not None and canon[0] is not rec:
+            ps._canon = None
+        ps._canon_pending = None
 
     # -- portable snapshots --------------------------------------------------------
 
@@ -722,7 +830,7 @@ class Machine:
                           Status(status_value), block, wait_mask))
         heap_objs = {
             oid: (kind, tag, mutable, refcount, live,
-                  [dec(v) for v in data], owner)
+                  tuple(dec(v) for v in data), owner)
             for oid, kind, tag, mutable, refcount, live, data, owner in pheap
         }
         self.restore((tuple(procs), heap_objs, next_oid, frozenset(retired),

@@ -96,7 +96,8 @@ def cmd_verify(args) -> int:
                                 max_states=args.max_states, jobs=args.jobs)
         print(report.summary())
         ok = report.ok
-        violations = report.result.violations
+        result = report.result
+        violations = result.violations
     else:
         program, _stats, _front = compile_source_with_stats(
             _read(args.file), args.file
@@ -115,7 +116,36 @@ def cmd_verify(args) -> int:
         violations = result.violations
     for violation in violations:
         print(violation)
+    if args.stats_json:
+        import json
+
+        print(json.dumps(result.stats, sort_keys=True))
+    elif args.stats:
+        _print_stats(result.stats)
     return 0 if ok else 1
+
+
+def _print_stats(stats: dict, indent: str = "") -> None:
+    """Render the explorer's nested counter dict as aligned lines."""
+    scalars = {k: v for k, v in stats.items()
+               if not isinstance(v, (dict, list))}
+    width = max((len(k) for k in scalars), default=0)
+    for key in sorted(scalars):
+        print(f"{indent}{key + ':':<{width + 1}} {scalars[key]}")
+    for key in sorted(k for k, v in stats.items() if isinstance(v, dict)):
+        print(f"{indent}{key}:")
+        _print_stats(stats[key], indent + "  ")
+    for key in sorted(k for k, v in stats.items() if isinstance(v, list)):
+        print(f"{indent}{key}:")
+        for item in stats[key]:
+            if isinstance(item, dict):
+                name = item.get("name")
+                print(f"{indent}  - {name}" if name is not None
+                      else f"{indent}  -")
+                _print_stats({k: v for k, v in item.items() if k != "name"},
+                             indent + "    ")
+            else:
+                print(f"{indent}  - {item}")
 
 
 def cmd_pretty(args) -> int:
@@ -191,6 +221,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="explore with the sharded breadth-first engine across N "
              "worker processes (results are identical for every N; "
              "default: serial depth-first engine)",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print visited-store, interpreter, and snapshot counters "
+             "after the run",
+    )
+    p.add_argument(
+        "--stats-json", action="store_true",
+        help="like --stats, but as one JSON object on stdout",
     )
     p.set_defaults(fn=cmd_verify)
 

@@ -8,23 +8,29 @@ part of the space.  We reproduce it with ``k`` independent hash
 functions over the canonical state (k=2 by default, like SPIN's
 double-hash default).
 
-The hash functions are keyed by an explicit ``seed`` and built on the
-process-independent :func:`stable_fingerprint`, not Python's ``hash``
-— the built-in randomizes string hashing per interpreter process, so
-bitmaps (and therefore which states a partial search visits) would
-silently differ run-to-run.  Same seed, same search, every time.
+The hash functions are keyed by an explicit ``seed`` and built on
+process-independent keyed blake2b, not Python's ``hash`` — the
+built-in randomizes string hashing per interpreter process, so bitmaps
+(and therefore which states a partial search visits) would silently
+differ run-to-run.  Same seed, same search, every time.  States are
+digested through :class:`~repro.verify.collapse.StateKeyer`, whose
+per-component digest cache makes hashing cost proportional to what
+*changed* since the previous state, not to state size — the same trick
+the collapse store uses.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from hashlib import blake2b
 
 from repro.errors import ESPError
 from repro.runtime.machine import Machine
+from repro.verify.collapse import StateKeyer
 from repro.verify.explorer import _violation_from
 from repro.verify.properties import Invariant, Violation
-from repro.verify.state import canonical_state, pack_state, stable_fingerprint
+from repro.verify.state import canonical_state
 
 
 @dataclass
@@ -73,15 +79,21 @@ class BitstateExplorer:
         self.seed = seed
         self._bitmap = bytearray(bitmap_bits // 8 + 1)
         self._bits_set = 0
+        self._keyer = StateKeyer(machine_shape=isinstance(machine, Machine))
+        self._salt_keys = [
+            ((seed * 1_000_003 + salt) & 0xFFFFFFFFFFFFFFFF).to_bytes(
+                8, "little")
+            for salt in range(hash_count)
+        ]
 
     def _mark(self, key) -> bool:
         """Set the state's hash bits; returns True when it was new
         (i.e. at least one bit was previously clear)."""
         new = False
-        packed = pack_state(key)
-        for salt in range(self.hash_count):
-            h = stable_fingerprint(
-                packed, seed=self.seed * 1_000_003 + salt
+        base = self._keyer.digest(key)
+        for salt_key in self._salt_keys:
+            h = int.from_bytes(
+                blake2b(base, digest_size=8, key=salt_key).digest(), "little"
             ) % self.bitmap_bits
             byte, bit = divmod(h, 8)
             if not self._bitmap[byte] & (1 << bit):

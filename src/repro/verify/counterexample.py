@@ -82,6 +82,21 @@ def replay_path(machine, path: Sequence[int]) -> tuple[list[str], ESPError | Non
     return trace, None
 
 
+def replay_collapsed(
+    machine, codec, descriptor, path: Sequence[int]
+) -> tuple[list[str], ESPError | None]:
+    """Replay a move-index path from a *collapsed* initial state: a
+    :class:`~repro.verify.collapse.SnapshotCodec` descriptor whose
+    component payloads live in ``codec``.
+
+    This is the replay entry point for stores that keep states in
+    collapsed form (the parallel engine's content-addressed transport):
+    the descriptor is expanded back into a portable snapshot, restored,
+    and then replayed exactly like :func:`replay_path`."""
+    machine.restore_portable(codec.decode(descriptor))
+    return replay_path(machine, path)
+
+
 def replay_violation(
     machine,
     violation: Violation,

@@ -10,7 +10,14 @@ block.
 
 The explorer is driven through :meth:`Machine.snapshot`/``restore``
 (the same interpreter that executes firmware — one program, both
-targets, Figure 4).
+targets, Figure 4).  The hot path stays free of string formatting:
+exploration records violations as compact move-index *paths*, and the
+human-readable traces are rebuilt afterwards by deterministic replay
+(:func:`repro.verify.counterexample.replay_path`) — the same mechanism
+the parallel engine uses to merge worker-found violations.  Visited
+states live in a SPIN-style collapse-compressed store
+(:mod:`repro.verify.collapse`), which is exact: state and transition
+counts are identical to a plain set of canonical states.
 """
 
 from __future__ import annotations
@@ -20,8 +27,10 @@ from dataclasses import dataclass, field
 
 from repro.errors import ESPError, ESPRuntimeError
 from repro.runtime.machine import Machine
+from repro.verify.collapse import make_visited_store
+from repro.verify.counterexample import replay_path
 from repro.verify.properties import Invariant, Violation
-from repro.verify.state import canonical_state, is_quiescent
+from repro.verify.state import is_quiescent
 
 
 @dataclass
@@ -35,7 +44,8 @@ class ExploreResult:
     complete: bool = True
     max_depth: int = 0
     elapsed_seconds: float = 0.0
-    memory_bytes: int = 0  # size of the visited-state store
+    memory_bytes: int = 0  # actual footprint of the visited-state store
+    stats: dict = field(default_factory=dict)  # store/interp/COW counters
 
     @property
     def ok(self) -> bool:
@@ -50,6 +60,11 @@ class ExploreResult:
         )
 
 
+# A violation found during exploration, before its trace is rebuilt:
+# (kind, message, depth, move-index path).
+_Pending = tuple[str, str, int, tuple[int, ...]]
+
+
 class Explorer:
     """Exhaustive DFS over the rendezvous-level state space."""
 
@@ -62,6 +77,7 @@ class Explorer:
         max_states: int | None = None,
         max_depth: int | None = None,
         stop_at_first: bool = True,
+        store: str = "collapse",
     ):
         self.machine = machine
         self.invariants = list(invariants or [])
@@ -73,89 +89,94 @@ class Explorer:
         self.max_states = max_states
         self.max_depth = max_depth
         self.stop_at_first = stop_at_first
+        self.store_kind = store
 
     def explore(self) -> ExploreResult:
         machine = self.machine
         result = ExploreResult()
         started = time.perf_counter()
+        # Pre-settle snapshot: the replay origin for counterexamples.
+        initial_snapshot = machine.snapshot()
+        pendings: list[_Pending] = []
+        store = make_visited_store(machine, self.store_kind)
 
-        if not self._settle(result, [], 0):
-            result.elapsed_seconds = time.perf_counter() - started
+        if not self._settle(pendings, (), 0):
+            self._finish(result, store, initial_snapshot, pendings, started)
             return result
 
-        initial_key = canonical_state(machine)
-        visited = {initial_key}
+        _, token = store.add_current(machine)
         result.states = 1
-        result.memory_bytes = _key_size(initial_key)
-        stack = [(machine.snapshot(), 0, [])]
+        root = machine.snapshot()
+        if token is not None:
+            token[0] = root  # bind the intern token to its snapshot
+        stack = [(root, 0, (), token)]
 
         while stack:
-            if self.stop_at_first and result.violations:
+            if self.stop_at_first and pendings:
                 break
-            snapshot, depth, trace = stack.pop()
+            snapshot, depth, path, token = stack.pop()
             machine.restore(snapshot)
             moves = machine.enabled_moves()
             if not moves:
-                self._check_deadlock(result, trace, depth)
+                self._check_deadlock(pendings, path, depth)
                 continue
             if self.max_depth is not None and depth >= self.max_depth:
                 result.complete = False
                 continue
-            for move in moves:
+            for index, move in enumerate(moves):
                 machine.restore(snapshot)
-                description = move.describe(machine)
-                next_trace = trace + [description]
+                next_path = path + (index,)
                 try:
                     machine.apply(move)
                 except ESPError as err:
                     result.transitions += 1
-                    result.violations.append(
-                        _violation_from(err, next_trace, depth + 1)
+                    pendings.append(
+                        (violation_kind(err), err.format(), depth + 1,
+                         next_path)
                     )
                     continue
                 result.transitions += 1
-                if not self._settle(result, next_trace, depth + 1):
+                if not self._settle(pendings, next_path, depth + 1):
                     continue
-                key = canonical_state(machine)
-                if key in visited:
+                is_new, child_token = store.add_current(machine, token)
+                if not is_new:
                     continue
-                visited.add(key)
                 result.states += 1
-                result.memory_bytes += _key_size(key)
                 result.max_depth = max(result.max_depth, depth + 1)
                 if self.max_states is not None and result.states >= self.max_states:
                     result.complete = False
                     stack.clear()
                     break
-                stack.append((machine.snapshot(), depth + 1, next_trace))
+                child_snapshot = machine.snapshot()
+                if child_token is not None:
+                    child_token[0] = child_snapshot
+                stack.append((child_snapshot, depth + 1, next_path,
+                              child_token))
 
-        result.elapsed_seconds = time.perf_counter() - started
-        if result.violations:
-            result.complete = False
+        self._finish(result, store, initial_snapshot, pendings, started)
         return result
 
     # -- helpers ------------------------------------------------------------------
 
-    def _settle(self, result: ExploreResult, trace: list[str], depth: int) -> bool:
+    def _settle(self, pendings: list[_Pending], path: tuple[int, ...],
+                depth: int) -> bool:
         """Run all runnable processes to their blocks, converting
-        interpreter exceptions and invariant failures into violations.
-        Returns False when this branch ended in a violation."""
+        interpreter exceptions and invariant failures into pending
+        violations.  Returns False when this branch ended in one."""
         try:
             self.machine.run_ready()
         except ESPError as err:
-            result.violations.append(_violation_from(err, trace, depth))
+            pendings.append((violation_kind(err), err.format(), depth, path))
             return False
         for invariant in self.invariants:
             message = invariant(self.machine)
             if message is not None:
-                result.violations.append(
-                    Violation("invariant", message, list(trace), depth)
-                )
+                pendings.append(("invariant", message, depth, path))
                 return False
         return True
 
-    def _check_deadlock(self, result: ExploreResult, trace: list[str],
-                        depth: int) -> None:
+    def _check_deadlock(self, pendings: list[_Pending],
+                        path: tuple[int, ...], depth: int) -> None:
         if not self.check_deadlock:
             return
         machine = self.machine
@@ -164,14 +185,44 @@ class Explorer:
         if self.quiescence_ok and is_quiescent(machine):
             return
         names = ", ".join(ps.proc.name for ps in machine.blocked_processes())
-        result.violations.append(
-            Violation(
-                "deadlock",
-                f"no enabled move; blocked: {names}",
-                list(trace),
-                depth,
-            )
+        pendings.append(
+            ("deadlock", f"no enabled move; blocked: {names}", depth, path)
         )
+
+    def _finish(self, result: ExploreResult, store, initial_snapshot,
+                pendings: list[_Pending], started: float) -> None:
+        """Rebuild human-readable traces for the pending violations (in
+        discovery order) and attach the store/interpreter statistics."""
+        machine = self.machine
+        for kind, message, depth, path in pendings:
+            machine.restore(initial_snapshot)
+            trace, _err = replay_path(machine, path)
+            result.violations.append(Violation(kind, message, trace, depth))
+        if result.violations:
+            result.complete = False
+        result.memory_bytes = store.memory_bytes()
+        result.stats = self._collect_stats(store)
+        result.elapsed_seconds = time.perf_counter() - started
+
+    def _collect_stats(self, store) -> dict:
+        machine = self.machine
+        stats = {"store": store.stats()}
+        counters = getattr(machine, "counters", None)
+        if counters is not None:
+            stats["interp"] = {
+                name: getattr(counters, name)
+                for name in (
+                    "instructions", "context_switches", "transfers",
+                    "alt_blocks", "matches", "idle_polls", "prints",
+                )
+            }
+        snap = getattr(machine, "snap_counters", None)
+        if snap is not None:
+            stats["snapshot"] = snap.to_dict()
+        heap = getattr(machine, "heap", None)
+        if heap is not None and hasattr(heap, "cow"):
+            stats["heap_cow"] = heap.cow.to_dict()
+        return stats
 
 
 def violation_kind(err: ESPError) -> str:
@@ -189,12 +240,3 @@ def violation_kind(err: ESPError) -> str:
 
 def _violation_from(err: ESPError, trace: list[str], depth: int) -> Violation:
     return Violation(violation_kind(err), err.format(), list(trace), depth)
-
-
-def _key_size(key) -> int:
-    """Rough byte estimate of a canonical state key."""
-    if isinstance(key, tuple):
-        return 8 + sum(_key_size(k) for k in key)
-    if isinstance(key, str):
-        return len(key)
-    return 8

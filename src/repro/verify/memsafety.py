@@ -23,11 +23,11 @@ free, negative counts, and leaks.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 
 from repro.errors import ProgramError
 from repro.lang import ast
+from repro.lang.astclone import clone_tree
 from repro.lang.patterns import Eq, EqUnknown, Rec, Shape, Uni, Wild
 from repro.lang.program import FrontendResult, frontend, frontend_from_ast
 from repro.ir.pipeline import OptLevel, compile_ir
@@ -83,15 +83,15 @@ def isolate_process(front: FrontendResult, process_name: str) -> FrontendResult:
     for decl in front.program.decls:
         if isinstance(decl, ast.ProcessDecl):
             if decl.name == process_name:
-                decls.append(copy.deepcopy(decl))
+                decls.append(clone_tree(decl))
             continue
         if isinstance(decl, ast.InterfaceDecl):
             # Keep existing external interfaces on channels the process
             # touches; drop the rest.
             if decl.channel in reads | writes:
-                decls.append(copy.deepcopy(decl))
+                decls.append(clone_tree(decl))
             continue
-        decls.append(copy.deepcopy(decl))
+        decls.append(clone_tree(decl))
 
     existing_external = {
         d.channel for d in decls if isinstance(d, ast.InterfaceDecl)

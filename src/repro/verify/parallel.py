@@ -5,10 +5,19 @@ The single-process :class:`~repro.verify.explorer.Explorer` walks the
 rendezvous-level state space depth-first.  This engine shards the same
 space across ``jobs`` workers:
 
-* **fingerprint-partitioned visited sets** — a state belongs to shard
-  ``stable_fingerprint(state) % jobs``; only that shard may declare it
-  new, so no state is ever counted twice no matter which worker
-  reaches it first;
+* **digest-partitioned visited sets** — a state belongs to shard
+  ``digest % jobs`` of its 16-byte :class:`~repro.verify.collapse.StateKeyer`
+  digest; only that shard may declare it new, so no state is ever
+  counted twice no matter which worker reaches it first.  Shards store
+  *only* the digests (SPIN's hash-compact trade: a missed state needs
+  a 128-bit blake2b collision), so the visited store costs ~50 bytes
+  per state regardless of model size;
+* **content-addressed snapshot transport** — successor states cross
+  worker pipes as :class:`~repro.verify.collapse.SnapshotCodec`
+  descriptors (tuples of component digests), and each distinct
+  per-process/per-heap-object payload is shipped once per worker as a
+  per-round delta instead of being re-serialised inside every
+  snapshot;
 * **batched frontier exchange** — exploration proceeds in
   level-synchronous rounds (one BFS depth per round): successor states
   are routed to their owner shard in batches, deduplicated there, and
@@ -24,30 +33,26 @@ space across ``jobs`` workers:
   violation are therefore identical run-to-run for *any* worker count,
   including ``jobs=1``.
 
-Workers are forked processes (states travel as the pickle-safe
-portable snapshots of :meth:`Machine.snapshot_portable`); where fork
-is unavailable the same round algorithm runs inline, bit-for-bit
-identically, just without the parallelism.
+Workers are forked processes; where fork is unavailable the same round
+algorithm runs inline, bit-for-bit identically, just without the
+parallelism.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import sys
 import time
 from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.errors import ESPError
 from repro.runtime.machine import Machine
-from repro.verify.counterexample import replay_path
+from repro.verify.collapse import SnapshotCodec, StateKeyer
+from repro.verify.counterexample import replay_collapsed, replay_path
 from repro.verify.explorer import ExploreResult, violation_kind
 from repro.verify.properties import Invariant, Violation
-from repro.verify.state import (
-    canonical_state,
-    is_quiescent,
-    pack_state,
-    stable_fingerprint,
-)
+from repro.verify.state import canonical_state, is_quiescent
 
 
 @dataclass(frozen=True)
@@ -60,14 +65,25 @@ class _Config:
     max_depth: int | None
 
 
-# A frontier candidate is (key_bytes, portable_snapshot, depth, path);
-# an expansion task drops the key (already deduplicated); a pending
+# One visited digest costs its bytes object plus a hash-table slot;
+# digests all have the same length, so the per-state footprint is a
+# constant — which also keeps the reported store size independent of
+# how many shards the digests happen to be spread across.
+_DIGEST_STORE_COST = sys.getsizeof(b"\x00" * 16) + 8
+
+
+def _owner_of(digest: bytes, jobs: int) -> int:
+    return int.from_bytes(digest[:8], "little") % jobs
+
+
+# A frontier candidate is (digest, descriptor, depth, path); an
+# expansion task drops the digest (already deduplicated); a pending
 # violation is (kind, message, depth, path) — the trace is rebuilt by
 # replay in the coordinator.
 
 
-def _expand_state(machine: Machine, invariants, cfg: _Config, snap, depth,
-                  path):
+def _expand_state(machine: Machine, invariants, cfg: _Config, keyer, codec,
+                  desc, depth, path):
     """Expand one deduplicated state.  Returns ``(successors, pendings,
     transitions, truncated)`` where successors carry their owner shard.
 
@@ -75,7 +91,7 @@ def _expand_state(machine: Machine, invariants, cfg: _Config, snap, depth,
     move application counts one transition even when it raises, settle
     runs all ready processes and checks invariants, deadlock is tested
     on move-less states before the depth bound applies."""
-    machine.restore_portable(snap)
+    machine.restore_portable(codec.decode(desc))
     moves = machine.enabled_moves()
     successors: list[tuple] = []
     pendings: list[tuple] = []
@@ -92,8 +108,12 @@ def _expand_state(machine: Machine, invariants, cfg: _Config, snap, depth,
     if cfg.max_depth is not None and depth >= cfg.max_depth:
         return successors, pendings, 0, True
     transitions = 0
+    snap = None
     for index, move in enumerate(moves):
-        machine.restore_portable(snap)
+        if snap is None:
+            snap = machine.snapshot()
+        else:
+            machine.restore(snap)
         next_path = path + (index,)
         transitions += 1
         try:
@@ -113,10 +133,11 @@ def _expand_state(machine: Machine, invariants, cfg: _Config, snap, depth,
                 break
         if broken:
             continue
-        key = pack_state(canonical_state(machine))
-        owner = stable_fingerprint(key) % cfg.jobs
+        digest = keyer.digest(canonical_state(machine))
+        owner = _owner_of(digest, cfg.jobs)
         successors.append(
-            (owner, key, machine.snapshot_portable(), depth + 1, next_path)
+            (owner, digest, codec.encode(machine.snapshot_portable()),
+             depth + 1, next_path)
         )
     return successors, pendings, transitions, False
 
@@ -124,16 +145,22 @@ def _expand_state(machine: Machine, invariants, cfg: _Config, snap, depth,
 def _dedup_batch(visited: set, batch) -> list[tuple]:
     """Owner-side per-round dedup: drop already-visited states, keep
     the least move-index path per new state, and return the survivors
-    in deterministic (key) order."""
+    in deterministic (digest) order."""
     best: dict[bytes, tuple] = {}
-    for key, snap, depth, path in batch:
+    for key, desc, depth, path in batch:
         if key in visited:
             continue
         current = best.get(key)
         if current is None or path < current[2]:
-            best[key] = (snap, depth, path)
+            best[key] = (desc, depth, path)
     visited.update(best)
     return [(key,) + best[key] for key in sorted(best)]
+
+
+def _visited_bytes(visited: set) -> int:
+    """Footprint of one shard's visited store (its fixed-size digest
+    keys plus table slots)."""
+    return len(visited) * _DIGEST_STORE_COST
 
 
 def _worker_main(machine, invariants, cfg, conn, tasks) -> None:
@@ -141,13 +168,19 @@ def _worker_main(machine, invariants, cfg, conn, tasks) -> None:
     requests for it, and steals expansion chunks from the shared task
     queue until the round's sentinel arrives."""
     visited: set[bytes] = set()
+    keyer = StateKeyer(machine_shape=isinstance(machine, Machine))
+    codec = SnapshotCodec()
     try:
         while True:
             msg = conn.recv()
             op = msg[0]
             if op == "dedup":
-                conn.send(("new", _dedup_batch(visited, msg[1])))
+                conn.send(
+                    ("new", _dedup_batch(visited, msg[1]),
+                     _visited_bytes(visited))
+                )
             elif op == "expand":
+                codec.merge(msg[1])  # payload delta broadcast this round
                 by_owner: dict[int, list] = defaultdict(list)
                 pendings: list[tuple] = []
                 transitions = 0
@@ -156,18 +189,19 @@ def _worker_main(machine, invariants, cfg, conn, tasks) -> None:
                     chunk = tasks.get()
                     if chunk is None:
                         break
-                    for snap, depth, path in chunk:
+                    for desc, depth, path in chunk:
                         succ, pend, trans, trunc = _expand_state(
-                            machine, invariants, cfg, snap, depth, path
+                            machine, invariants, cfg, keyer, codec, desc,
+                            depth, path
                         )
-                        for owner, key, snap2, depth2, path2 in succ:
-                            by_owner[owner].append((key, snap2, depth2, path2))
+                        for owner, key, desc2, depth2, path2 in succ:
+                            by_owner[owner].append((key, desc2, depth2, path2))
                         pendings.extend(pend)
                         transitions += trans
                         truncated = truncated or trunc
                 conn.send(
                     ("expanded", dict(by_owner), pendings, transitions,
-                     truncated)
+                     truncated, codec.drain())
                 )
             elif op == "stop":
                 break
@@ -184,36 +218,42 @@ def _worker_main(machine, invariants, cfg, conn, tasks) -> None:
 
 class _InlinePool:
     """The round algorithm without processes (jobs=1, or fork
-    unavailable): same shard structure, same results."""
+    unavailable): same shard structure, same results.  Shares the
+    coordinator's codec/keyer, so deltas and drains are no-ops."""
 
-    def __init__(self, machine, invariants, cfg: _Config):
+    def __init__(self, machine, invariants, cfg: _Config, keyer, codec):
         self.machine = machine
         self.invariants = invariants
         self.cfg = cfg
+        self.keyer = keyer
+        self.codec = codec
         self.visited = [set() for _ in range(cfg.jobs)]
 
-    def dedup(self, frontier: dict[int, list]) -> list[list[tuple]]:
-        return [
+    def dedup(self, frontier: dict[int, list]):
+        shards = [
             _dedup_batch(self.visited[w], frontier.get(w, []))
             for w in range(self.cfg.jobs)
         ]
+        return shards, sum(_visited_bytes(v) for v in self.visited)
 
-    def expand(self, chunks):
+    def expand(self, chunks, delta):
+        self.codec.merge(delta)
         by_owner: dict[int, list] = defaultdict(list)
         pendings: list[tuple] = []
         transitions = 0
         truncated = False
         for chunk in chunks:
-            for snap, depth, path in chunk:
+            for desc, depth, path in chunk:
                 succ, pend, trans, trunc = _expand_state(
-                    self.machine, self.invariants, self.cfg, snap, depth, path
+                    self.machine, self.invariants, self.cfg, self.keyer,
+                    self.codec, desc, depth, path
                 )
-                for owner, key, snap2, depth2, path2 in succ:
-                    by_owner[owner].append((key, snap2, depth2, path2))
+                for owner, key, desc2, depth2, path2 in succ:
+                    by_owner[owner].append((key, desc2, depth2, path2))
                 pendings.extend(pend)
                 transitions += trans
                 truncated = truncated or trunc
-        return dict(by_owner), pendings, transitions, truncated
+        return dict(by_owner), pendings, transitions, truncated, self.codec.drain()
 
     def close(self) -> None:
         pass
@@ -248,17 +288,23 @@ class _ProcessPool:
             )
         return msg
 
-    def dedup(self, frontier: dict[int, list]) -> list[list[tuple]]:
+    def dedup(self, frontier: dict[int, list]):
         for w, conn in enumerate(self.conns):
             conn.send(("dedup", frontier.get(w, [])))
-        return [self._recv(conn)[1] for conn in self.conns]
+        shards = []
+        store_bytes = 0
+        for conn in self.conns:
+            msg = self._recv(conn)
+            shards.append(msg[1])
+            store_bytes += msg[2]
+        return shards, store_bytes
 
-    def expand(self, chunks):
+    def expand(self, chunks, delta):
         # Command first so workers start draining the queue while the
         # coordinator is still feeding it (a full pipe would otherwise
         # deadlock both sides).
         for conn in self.conns:
-            conn.send(("expand",))
+            conn.send(("expand", delta))
         for chunk in chunks:
             self.tasks.put(chunk)
         for _ in self.conns:
@@ -267,14 +313,16 @@ class _ProcessPool:
         pendings: list[tuple] = []
         transitions = 0
         truncated = False
+        merged_delta: dict = {}
         for conn in self.conns:
-            _, worker_by_owner, pend, trans, trunc = self._recv(conn)
+            _, worker_by_owner, pend, trans, trunc, drain = self._recv(conn)
             for owner, items in worker_by_owner.items():
                 by_owner[owner].extend(items)
             pendings.extend(pend)
             transitions += trans
             truncated = truncated or trunc
-        return dict(by_owner), pendings, transitions, truncated
+            merged_delta.update(drain)
+        return dict(by_owner), pendings, transitions, truncated, merged_delta
 
     def close(self) -> None:
         for conn in self.conns:
@@ -301,7 +349,13 @@ class ParallelExplorer:
     BFS-deterministic — the first round containing a violation ends
     the search (under ``stop_at_first``) and violations are ordered by
     ``(depth, move-index path)``, so output is byte-identical for any
-    ``jobs`` value."""
+    ``jobs`` value.
+
+    The visited store is hash-compact: states are deduplicated on
+    128-bit content digests rather than full canonical encodings, so
+    (unlike the serial collapse store, which is exact) two distinct
+    states colliding in blake2b-128 would merge them.  See
+    docs/VERIFIER.md for why that risk is accepted here."""
 
     def __init__(
         self,
@@ -342,31 +396,33 @@ class ParallelExplorer:
         machine = self.machine
         result = ExploreResult()
         started = time.perf_counter()
-        initial_portable = machine.snapshot_portable()  # pre-settle, for replay
+        keyer = StateKeyer(machine_shape=isinstance(machine, Machine))
+        codec = SnapshotCodec()
+        desc0 = codec.encode(machine.snapshot_portable())  # pre-settle, for replay
 
         if not self._settle_initial(result):
             result.elapsed_seconds = time.perf_counter() - started
             result.complete = False
             return result
 
-        key0 = pack_state(canonical_state(machine))
-        snap0 = machine.snapshot_portable()
-        frontier = {stable_fingerprint(key0) % self.jobs: [(key0, snap0, 0, ())]}
+        key0 = keyer.digest(canonical_state(machine))
+        start_desc = codec.encode(machine.snapshot_portable())
+        frontier = {_owner_of(key0, self.jobs): [(key0, start_desc, 0, ())]}
+        delta = codec.drain()
 
-        pool = self._make_pool()
+        pool = self._make_pool(keyer, codec)
         pendings_all: list[tuple] = []
         truncated = False
         depth = 0
+        rounds = 0
         try:
             while frontier:
-                new_by_shard = pool.dedup(frontier)
+                new_by_shard, store_bytes = pool.dedup(frontier)
                 new_count = sum(len(shard) for shard in new_by_shard)
                 if new_count == 0:
                     break
                 result.states += new_count
-                result.memory_bytes += sum(
-                    len(key) for shard in new_by_shard for key, *_ in shard
-                )
+                result.memory_bytes = store_bytes
                 if depth > 0:
                     result.max_depth = depth
                 if (self.max_states is not None
@@ -374,15 +430,19 @@ class ParallelExplorer:
                     result.complete = False
                     break
                 all_new = [
-                    (snap, d, path)
+                    (desc, d, path)
                     for shard in new_by_shard
-                    for _key, snap, d, path in shard
+                    for _key, desc, d, path in shard
                 ]
                 chunks = [
                     all_new[i:i + self.batch_size]
                     for i in range(0, len(all_new), self.batch_size)
                 ]
-                frontier, pendings, transitions, trunc = pool.expand(chunks)
+                frontier, pendings, transitions, trunc, delta = pool.expand(
+                    chunks, delta
+                )
+                codec.merge(delta)  # coordinator mirrors the payload universe
+                rounds += 1
                 result.transitions += transitions
                 truncated = truncated or trunc
                 pendings_all.extend(pendings)
@@ -394,19 +454,32 @@ class ParallelExplorer:
 
         if truncated:
             result.complete = False
-        self._finish_violations(result, pendings_all, initial_portable)
+        self._finish_violations(result, pendings_all, codec, desc0)
         if result.violations:
             result.complete = False
+        result.stats = {
+            "backend": self.backend,
+            "shards": self.jobs,
+            "rounds": rounds,
+            "store": {
+                "kind": "hash-compact",
+                "digest_bits": 128,
+                "states": result.states,
+                "memory_bytes": result.memory_bytes,
+            },
+            "transport": codec.stats(),
+        }
         result.elapsed_seconds = time.perf_counter() - started
         return result
 
     # -- helpers ------------------------------------------------------------------
 
-    def _make_pool(self):
+    def _make_pool(self, keyer, codec):
         if self.use_processes:
             ctx = multiprocessing.get_context("fork")
             return _ProcessPool(self.machine, self.invariants, self.cfg, ctx)
-        return _InlinePool(self.machine, self.invariants, self.cfg)
+        return _InlinePool(self.machine, self.invariants, self.cfg, keyer,
+                           codec)
 
     def _settle_initial(self, result: ExploreResult) -> bool:
         """Run the initial state to its blocks; False when it already
@@ -426,11 +499,11 @@ class ParallelExplorer:
         return True
 
     def _finish_violations(self, result: ExploreResult, pendings,
-                           initial_portable) -> None:
+                           codec, desc0) -> None:
         """Order pending violations deterministically and rebuild their
-        counterexample traces by replaying the move-index paths."""
+        counterexample traces by replaying the move-index paths from the
+        collapsed initial descriptor."""
         pendings.sort(key=lambda p: (p[2], p[3], p[0], p[1]))
         for kind, message, depth, path in pendings:
-            self.machine.restore_portable(initial_portable)
-            trace, _err = replay_path(self.machine, path)
+            trace, _err = replay_collapsed(self.machine, codec, desc0, path)
             result.violations.append(Violation(kind, message, trace, depth))

@@ -38,16 +38,20 @@ def canonical_state(machine) -> tuple:
         return own()
     remap: dict[int, int] = {}
     heap_entries: list[tuple] = []
+    heap_objects = machine.heap.objects
+    has_ref = False
 
     def visit(value):
+        nonlocal has_ref
         if not isinstance(value, Ref):
             return value
+        has_ref = True
         oid = value.oid
         if oid in remap:
             return ("ref", remap[oid])
         canonical = len(remap)
         remap[oid] = canonical
-        obj = machine.heap.objects.get(oid)
+        obj = heap_objects.get(oid)
         if obj is None or not obj.live:
             heap_entries.append((canonical, "dangling"))
             return ("ref", canonical)
@@ -61,6 +65,16 @@ def canonical_state(machine) -> tuple:
 
     procs = []
     for ps in machine.processes:
+        # Ref-free per-process entries depend only on the process itself
+        # (they consume no canonical heap slot), so they are cached on
+        # the ProcessState, keyed by the identity of its copy-on-write
+        # snapshot record: valid exactly while the process is untouched.
+        canon = ps._canon
+        if (canon is not None and ps._record_version == ps.version
+                and canon[0] is ps._record):
+            procs.append(canon[1])
+            continue
+        has_ref = False
         block = None
         if ps.block is not None:
             b = ps.block
@@ -72,7 +86,16 @@ def canonical_state(machine) -> tuple:
         locals_ = tuple(
             (name, visit(value)) for name, value in sorted(ps.locals.items())
         )
-        procs.append((ps.pc, ps.status.value, locals_, block))
+        entry = (ps.pc, ps.status.value, locals_, block)
+        if not has_ref:
+            if ps._record_version == ps.version:
+                ps._canon = (ps._record, entry)
+            else:
+                # No record exists for the current version yet; leave the
+                # entry pending for Machine.snapshot() to promote.
+                ps._canon = None
+                ps._canon_pending = (ps.version, entry)
+        procs.append(entry)
 
     # Leaked (live but unreachable) objects, in stable order.
     for oid in sorted(machine.heap.objects):
