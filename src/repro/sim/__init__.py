@@ -9,8 +9,9 @@ framework), and all costs are counted cycles, so results are
 deterministic."""
 
 from repro.sim.events import Simulator
-from repro.sim.timing import CostModel
+from repro.sim.timing import CostModel, ReliabilityCounters
 from repro.sim.dma import DMAEngine
+from repro.sim.faults import FaultPlan, FaultSession
 from repro.sim.network import Wire
 from repro.sim.nic import NIC, FirmwareAction, FirmwareBase, FirmwareInput
 from repro.sim.host import Host
@@ -18,7 +19,10 @@ from repro.sim.host import Host
 __all__ = [
     "Simulator",
     "CostModel",
+    "ReliabilityCounters",
     "DMAEngine",
+    "FaultPlan",
+    "FaultSession",
     "Wire",
     "NIC",
     "Host",

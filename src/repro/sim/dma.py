@@ -17,14 +17,18 @@ from repro.sim.events import Simulator
 class DMAEngine:
     """One DMA engine with startup latency and fixed bandwidth."""
 
-    def __init__(self, sim: Simulator, name: str, startup_us: float, mb_s: float):
+    def __init__(self, sim: Simulator, name: str, startup_us: float, mb_s: float,
+                 faults=None):
         self.sim = sim
         self.name = name
         self.startup_us = startup_us
         self.mb_s = mb_s
+        self.faults = faults  # a DMAFaultInjector, or None
         self.busy_until = 0.0
         self.transfers = 0
         self.bytes_moved = 0
+        self.stalls = 0
+        self.stall_us_total = 0.0
 
     @property
     def busy(self) -> bool:
@@ -39,6 +43,12 @@ class DMAEngine:
         checks ``busy`` first, but queueing keeps the model safe)."""
         begin = max(self.sim.now, self.busy_until)
         done = begin + self.transfer_time_us(nbytes)
+        if self.faults is not None:
+            stall = self.faults.stall_us()
+            if stall > 0.0:
+                self.stalls += 1
+                self.stall_us_total += stall
+                done += stall
         self.busy_until = done
         self.transfers += 1
         self.bytes_moved += nbytes

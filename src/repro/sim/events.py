@@ -57,12 +57,18 @@ class Simulator:
         raise RuntimeError(f"simulation exceeded {max_events} events")
 
     def run_until(self, predicate: Callable[[], bool],
-                  max_events: int = 10_000_000) -> bool:
+                  max_events: int = 10_000_000,
+                  until_us: float | None = None) -> bool:
         """Run until ``predicate()`` holds; returns False when the queue
-        drained first."""
+        drained first, or when the ``until_us`` deadline passed (the
+        soak harness's non-convergence watchdog)."""
         for _ in range(max_events):
             if predicate():
                 return True
+            if until_us is not None and self._queue and \
+                    self._queue[0][0] > until_us:
+                self.now = until_us
+                return predicate()
             if not self.step():
                 return predicate()
         raise RuntimeError(f"simulation exceeded {max_events} events")

@@ -1,0 +1,249 @@
+"""Deterministic fault injection for the simulated platform.
+
+The paper's retransmission protocol was verified against an adversarial
+lossy wire inside SPIN (§5.3); this module brings the same adversary to
+the *timed* simulator so the compiled firmware is exercised under the
+failures it was verified against.
+
+A :class:`FaultPlan` is a pure value: a seed plus per-packet fault
+rates (drop / duplicate / reorder / delay / corrupt) and a DMA-engine
+stall rate, optionally overridden by an explicit scripted trace.  All
+randomness derives from ``(seed, stream label)`` through
+``random.Random`` seeded with strings (hashed via SHA-512, stable
+across processes and ``PYTHONHASHSEED``), and the discrete-event engine
+is deterministic, so the same plan over the same workload produces the
+same faults, the same schedule, and byte-identical stats — see
+docs/FAULTS.md for the guarantees.
+
+Because a plan is reusable, mutable per-run state (RNG positions and
+fault counters) lives in a :class:`FaultSession` created by
+:meth:`FaultPlan.start`; the wire and the DMA engines hold per-stream
+injectors handed out by the session.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+# Fault kinds, in the order the per-packet dice are carved up.
+DROP = "drop"
+DUP = "dup"
+REORDER = "reorder"
+DELAY = "delay"
+CORRUPT = "corrupt"
+PACKET_FAULTS = (DROP, DUP, REORDER, DELAY, CORRUPT)
+DMA_STALL = "dma_stall"
+
+# Packet fields a corruption may flip.  ``csum`` itself is excluded: a
+# corrupted packet keeps its stale checksum, which is how the receiver
+# detects it (repro.vmmc.packets.csum_ok).
+_CORRUPTIBLE_FIELDS = ("val", "seq", "ack", "nbytes", "msg_id")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable recipe for deterministic fault injection.
+
+    ``script`` entries override the dice: a mapping from
+    ``(stream, index)`` — e.g. ``("wire0", 3)`` for the 4th packet sent
+    by side 0 — to a fault kind (or ``"none"`` to force clean
+    delivery).  Scripted faults do not consume random draws, so adding
+    one does not shift the faults of later packets.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    dup: float = 0.0
+    reorder: float = 0.0
+    delay: float = 0.0
+    corrupt: float = 0.0
+    dma_stall: float = 0.0
+    # Fault shaping (microseconds).
+    delay_max_us: float = 50.0
+    reorder_delay_us: float = 25.0
+    dup_gap_us: float = 1.0
+    dma_stall_us: float = 25.0
+    script: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        for kind in PACKET_FAULTS + (DMA_STALL,):
+            rate = getattr(self, kind)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind} rate {rate} outside [0, 1]")
+        total = sum(getattr(self, kind) for kind in PACKET_FAULTS)
+        if total > 1.0:
+            raise ValueError(f"packet fault rates sum to {total} > 1")
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``SEED[:kind=rate,...]`` spec (the CLI's ``--faults``).
+
+        Examples: ``"42"``, ``"7:drop=0.05"``,
+        ``"1:drop=0.05,dup=0.02,reorder=0.01"``.
+        """
+        seed_text, _, rates_text = spec.partition(":")
+        try:
+            seed = int(seed_text)
+        except ValueError:
+            raise ValueError(f"bad fault seed {seed_text!r} in {spec!r}")
+        kwargs: dict = {"seed": seed}
+        if rates_text.strip():
+            for item in rates_text.split(","):
+                key, _, value = item.partition("=")
+                key = key.strip()
+                if key not in PACKET_FAULTS + (DMA_STALL,):
+                    raise ValueError(f"unknown fault kind {key!r} in {spec!r}")
+                try:
+                    kwargs[key] = float(value)
+                except ValueError:
+                    raise ValueError(f"bad rate {value!r} for {key} in {spec!r}")
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        rates = ",".join(
+            f"{kind}={getattr(self, kind):g}"
+            for kind in PACKET_FAULTS + (DMA_STALL,)
+            if getattr(self, kind) > 0
+        )
+        return f"{self.seed}:{rates}" if rates else f"{self.seed}"
+
+    def scripted(self, stream: str, index: int, kind: str) -> "FaultPlan":
+        """A copy of this plan with one scripted fault added."""
+        script = dict(self.script)
+        script[(stream, index)] = kind
+        return replace(self, script=script)
+
+    def start(self) -> "FaultSession":
+        """Begin one run: fresh RNG streams and zeroed counters."""
+        return FaultSession(self)
+
+
+class FaultStats:
+    """Counts of injected faults, keyed by stream then kind."""
+
+    def __init__(self):
+        self.by_stream: dict[str, dict[str, int]] = {}
+
+    def count(self, stream: str, kind: str) -> None:
+        per = self.by_stream.setdefault(stream, {})
+        per[kind] = per.get(kind, 0) + 1
+
+    def total(self, kind: str) -> int:
+        return sum(per.get(kind, 0) for per in self.by_stream.values())
+
+    def injected(self) -> int:
+        return sum(sum(per.values()) for per in self.by_stream.values())
+
+    def as_dict(self) -> dict:
+        return {
+            stream: dict(sorted(per.items()))
+            for stream, per in sorted(self.by_stream.items())
+        }
+
+
+class FaultSession:
+    """The mutable half of a plan: one run's RNGs and counters."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.stats = FaultStats()
+
+    def _rng(self, label: str) -> random.Random:
+        # String seeds hash through SHA-512 in CPython: stable across
+        # processes, unaffected by PYTHONHASHSEED.
+        return random.Random(f"esp-faults/{self.plan.seed}/{label}")
+
+    def wire_injector(self, stream: str) -> "WireFaultInjector":
+        return WireFaultInjector(self.plan, self._rng(stream), stream, self.stats)
+
+    def dma_injector(self, name: str) -> "DMAFaultInjector":
+        return DMAFaultInjector(self.plan, self._rng(f"dma/{name}"),
+                                f"dma/{name}", self.stats)
+
+
+class WireFaultInjector:
+    """Per-direction packet fault dice (one stream of one session)."""
+
+    def __init__(self, plan: FaultPlan, rng: random.Random, stream: str,
+                 stats: FaultStats):
+        self.plan = plan
+        self.rng = rng
+        self.stream = stream
+        self.stats = stats
+        self.index = 0  # packets seen on this direction so far
+
+    def _decide(self, index: int) -> str:
+        scripted = self.plan.script.get((self.stream, index))
+        if scripted is not None:
+            return scripted
+        draw = self.rng.random()
+        edge = 0.0
+        for kind in PACKET_FAULTS:
+            edge += getattr(self.plan, kind)
+            if draw < edge:
+                return kind
+        return "none"
+
+    def apply(self, packet: dict) -> list[tuple[float, dict]]:
+        """Fault one packet; returns ``(extra_delay_us, packet)``
+        deliveries (empty for a drop, two for a duplicate)."""
+        plan = self.plan
+        index = self.index
+        self.index += 1
+        kind = self._decide(index)
+        if kind == "none":
+            return [(0.0, packet)]
+        self.stats.count(self.stream, kind)
+        if kind == DROP:
+            return []
+        if kind == DUP:
+            return [(0.0, packet), (plan.dup_gap_us, dict(packet))]
+        if kind == REORDER:
+            # Held back long enough for later packets to overtake it.
+            return [(plan.reorder_delay_us, packet)]
+        if kind == DELAY:
+            # Extra latency drawn from the stream's own dice, so the
+            # amount is as reproducible as the decision.
+            return [(self.rng.random() * plan.delay_max_us, packet)]
+        if kind == CORRUPT:
+            return [(0.0, self._corrupt(packet))]
+        raise ValueError(f"unknown scripted fault kind {kind!r}")
+
+    def _corrupt(self, packet: dict) -> dict:
+        """Flip one scalar field on a copy; the checksum goes stale."""
+        mutated = dict(packet)
+        fields = [f for f in _CORRUPTIBLE_FIELDS if f in mutated]
+        if not fields:
+            mutated["corrupted"] = True
+            return mutated
+        field_name = self.rng.choice(fields)
+        mutated[field_name] = mutated[field_name] + 1
+        return mutated
+
+
+class DMAFaultInjector:
+    """Per-engine stall dice: an occasional fixed extra latency models
+    a DMA engine losing bus arbitration / replaying a transaction."""
+
+    def __init__(self, plan: FaultPlan, rng: random.Random, stream: str,
+                 stats: FaultStats):
+        self.plan = plan
+        self.rng = rng
+        self.stream = stream
+        self.stats = stats
+        self.index = 0
+
+    def stall_us(self) -> float:
+        scripted = self.plan.script.get((self.stream, self.index))
+        self.index += 1
+        if scripted is not None:
+            stalled = scripted == DMA_STALL
+        else:
+            stalled = self.rng.random() < self.plan.dma_stall
+        if not stalled:
+            return 0.0
+        self.stats.count(self.stream, DMA_STALL)
+        return self.plan.dma_stall_us

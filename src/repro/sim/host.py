@@ -48,3 +48,13 @@ class Host:
         self.notifications.append(info)
         if self.on_notify is not None:
             self.on_notify(info)
+
+    def payloads(self, key: str = "val") -> list:
+        """The ``key`` field of every notification carrying one, in
+        arrival order — the delivered-payload log the fault-injection
+        harness checks for exactly-once, in-order delivery."""
+        return [n[key] for n in self.notifications
+                if isinstance(n, dict) and key in n]
+
+    def clear_notifications(self) -> None:
+        self.notifications.clear()

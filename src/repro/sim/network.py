@@ -4,6 +4,11 @@ A full-duplex point-to-point Myrinet link: each direction serialises
 packets at link bandwidth after a small propagation latency.  Delivery
 hands the packet to the receiving NIC as a firmware input (the receive
 DMA into SRAM is charged on the receiving side).
+
+Each direction may carry a fault injector (see :mod:`repro.sim.faults`)
+that drops, duplicates, reorders, delays, or corrupts packets *after*
+serialisation — the sender pays the wire time either way, exactly like
+a packet lost in flight.
 """
 
 from __future__ import annotations
@@ -13,12 +18,19 @@ from repro.sim.timing import CostModel
 
 
 class _Direction:
-    def __init__(self, sim: Simulator, cost: CostModel):
+    """One direction of the link: its serialisation clock and stats."""
+
+    def __init__(self, sim: Simulator, cost: CostModel, label: str,
+                 injector=None):
         self.sim = sim
         self.cost = cost
+        self.label = label
+        self.injector = injector
         self.busy_until = 0.0
         self.packets = 0
         self.bytes = 0
+        self.delivered = 0
+        self.lost = 0
 
     def send(self, nbytes: int, deliver, packet) -> None:
         begin = max(self.sim.now, self.busy_until)
@@ -26,17 +38,39 @@ class _Direction:
         self.busy_until = done
         self.packets += 1
         self.bytes += nbytes
-        self.sim.at(done + self.cost.wire_latency_us, deliver, packet)
+        if self.injector is None:
+            deliveries = [(0.0, packet)]
+        else:
+            deliveries = self.injector.apply(packet)
+        if not deliveries:
+            self.lost += 1
+        for extra_us, pkt in deliveries:
+            self.delivered += 1
+            self.sim.at(done + self.cost.wire_latency_us + extra_us,
+                        deliver, pkt)
+
+    def stats(self) -> dict:
+        return {
+            "packets": self.packets,
+            "bytes": self.bytes,
+            "delivered": self.delivered,
+            "lost": self.lost,
+        }
 
 
 class Wire:
     """A bidirectional link joining two NICs."""
 
-    def __init__(self, sim: Simulator, cost: CostModel):
+    def __init__(self, sim: Simulator, cost: CostModel, faults=None):
         self.sim = sim
         self.cost = cost
+        self.faults = faults  # a FaultSession, or None for a perfect link
         self._nics: list = [None, None]
-        self._dirs = [_Direction(sim, cost), _Direction(sim, cost)]
+        self._dirs = [
+            _Direction(sim, cost, f"wire{side}",
+                       faults.wire_injector(f"wire{side}") if faults else None)
+            for side in (0, 1)
+        ]
 
     def attach(self, side: int, nic) -> None:
         self._nics[side] = nic
@@ -51,8 +85,12 @@ class Wire:
             raise RuntimeError("wire side not attached")
         direction.send(nbytes, nic.packet_arrived, packet)
 
+    def direction_stats(self, from_side: int) -> dict:
+        """Counters for one direction of the link (packets/bytes put on
+        the wire, deliveries that came off it, packets lost to faults)."""
+        return self._dirs[from_side].stats()
+
     def stats(self) -> dict:
-        return {
-            "packets": [d.packets for d in self._dirs],
-            "bytes": [d.bytes for d in self._dirs],
-        }
+        """Per-direction counters, keyed by the sending side's label —
+        the shape harness reports embed (see docs/FAULTS.md)."""
+        return {d.label: d.stats() for d in self._dirs}

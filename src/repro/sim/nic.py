@@ -68,25 +68,31 @@ class NICStats:
     cycles: float = 0.0
     busy_us: float = 0.0
     sram_peak_bytes: int = 0
+    timers_set: int = 0
 
 
 class NIC:
     """One network interface card attached to a host and a wire."""
 
     def __init__(self, sim: Simulator, cost: CostModel, side: int,
-                 firmware: FirmwareBase):
+                 firmware: FirmwareBase, faults=None):
         self.sim = sim
         self.cost = cost
         self.side = side
         self.firmware = firmware
         self.wire = None
         self.host = None
-        self.dma_host = DMAEngine(sim, f"hostDMA{side}",
-                                  cost.host_dma_startup_us, cost.host_dma_mb_s)
-        self.dma_send = DMAEngine(sim, f"sendDMA{side}",
-                                  cost.net_dma_startup_us, cost.net_dma_mb_s)
-        self.dma_recv = DMAEngine(sim, f"recvDMA{side}",
-                                  cost.net_dma_startup_us, cost.net_dma_mb_s)
+
+        def _dma(name: str, startup_us: float, mb_s: float) -> DMAEngine:
+            injector = faults.dma_injector(name) if faults is not None else None
+            return DMAEngine(sim, name, startup_us, mb_s, faults=injector)
+
+        self.dma_host = _dma(f"hostDMA{side}",
+                             cost.host_dma_startup_us, cost.host_dma_mb_s)
+        self.dma_send = _dma(f"sendDMA{side}",
+                             cost.net_dma_startup_us, cost.net_dma_mb_s)
+        self.dma_recv = _dma(f"recvDMA{side}",
+                             cost.net_dma_startup_us, cost.net_dma_mb_s)
         self._inputs: list[FirmwareInput] = []
         self._cpu_busy_until = 0.0
         self._kick_scheduled = False
@@ -179,6 +185,7 @@ class NIC:
                     self.cost.host_notify_us, self.host.notify, action.payload
                 )
             elif action.kind == "timer":
+                self.stats.timers_set += 1
                 self.sim.schedule(
                     float(action.nbytes),
                     self.deliver_input,

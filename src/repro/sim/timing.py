@@ -108,6 +108,50 @@ class CostModel:
 
 
 @dataclass
+class ReliabilityCounters:
+    """Per-NIC fault/recovery counters for a reliable firmware.
+
+    ``time_to_recover`` episodes span from the first timeout after
+    forward progress stalled to the ack that restarts it; see
+    docs/FAULTS.md for exact semantics of every counter.
+    """
+
+    data_sent: int = 0            # first transmissions of a seq
+    retransmissions: int = 0      # repeat transmissions of a seq
+    timeouts: int = 0             # timer expiries that fired a retransmit
+    acks_sent: int = 0
+    acks_received: int = 0
+    delivered: int = 0            # payloads handed to the host, in order
+    duplicates_suppressed: int = 0
+    out_of_order_dropped: int = 0
+    corrupt_dropped: int = 0
+    recoveries: int = 0
+    recovery_us_total: float = 0.0
+    recovery_us_max: float = 0.0
+
+    def record_recovery(self, us: float) -> None:
+        self.recoveries += 1
+        self.recovery_us_total += us
+        self.recovery_us_max = max(self.recovery_us_max, us)
+
+    def as_dict(self) -> dict:
+        return {
+            "data_sent": self.data_sent,
+            "retransmissions": self.retransmissions,
+            "timeouts": self.timeouts,
+            "acks_sent": self.acks_sent,
+            "acks_received": self.acks_received,
+            "delivered": self.delivered,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "out_of_order_dropped": self.out_of_order_dropped,
+            "corrupt_dropped": self.corrupt_dropped,
+            "recoveries": self.recoveries,
+            "recovery_us_total": round(self.recovery_us_total, 6),
+            "recovery_us_max": round(self.recovery_us_max, 6),
+        }
+
+
+@dataclass
 class CycleCounter:
     """Accumulates cycles charged by a firmware implementation."""
 

@@ -8,11 +8,17 @@ Subcommands::
     espc run     pgm.esp [--max-transfers N] [--policy stack|fifo|random]
     espc verify  pgm.esp [--process NAME] [--max-states N] [--jobs N]
     espc stats   pgm.esp            # optimizer statistics
+    espc sim     [--messages N] [--faults SEED:rates] [--stats-json]
 
 ``run`` executes through the interpreter; external channels are not
 available from the CLI (wire them up through the Python API).
 ``verify`` without ``--process`` explores the whole program; with it,
 the per-process memory-safety check of §5.3 runs.
+``sim`` runs the verified retransmission protocol end-to-end as
+firmware on the simulated NIC pair, optionally over a faulty link
+(``--faults SEED:drop=0.05,dup=0.02,...``, see docs/FAULTS.md); it
+exits non-zero when the run does not converge or a payload is lost,
+duplicated, or reordered.
 """
 
 from __future__ import annotations
@@ -148,6 +154,39 @@ def _print_stats(stats: dict, indent: str = "") -> None:
                 print(f"{indent}  - {item}")
 
 
+def cmd_sim(args) -> int:
+    from repro.sim.faults import FaultPlan
+    from repro.vmmc.retransmission import run_over_faulty_link
+
+    plan = None
+    if args.faults:
+        try:
+            plan = FaultPlan.parse(args.faults)
+        except ValueError as err:
+            print(f"espc: error: {err}", file=sys.stderr)
+            return 2
+    report = run_over_faulty_link(
+        messages=args.messages,
+        messages_back=args.messages if args.bidirectional else 0,
+        plan=plan,
+        window=args.window,
+        chunk_bytes=args.chunk_bytes,
+        timeout_us=args.timeout_us,
+        deadline_us=args.deadline_us,
+    )
+    ok = report.converged and report.exactly_once_in_order()
+    if args.stats_json:
+        import json
+
+        print(json.dumps(report.as_dict(), sort_keys=True))
+    else:
+        print(report.summary())
+        if not report.exactly_once_in_order():
+            print("delivery check FAILED: payloads lost, duplicated, "
+                  "or reordered")
+    return 0 if ok else 1
+
+
 def cmd_pretty(args) -> int:
     from repro.lang.parser import parse
     from repro.lang.pretty import print_program
@@ -232,6 +271,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="like --stats, but as one JSON object on stdout",
     )
     p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser(
+        "sim",
+        help="run the retransmission firmware over the (faulty) "
+             "simulated link",
+    )
+    p.add_argument("--messages", type=_positive_int, default=200,
+                   help="payloads side 0 pushes (default 200)")
+    p.add_argument("--bidirectional", action="store_true",
+                   help="side 1 pushes the same number of payloads back")
+    p.add_argument("--window", type=_positive_int, default=8)
+    p.add_argument("--chunk-bytes", type=_positive_int, default=1024)
+    p.add_argument("--timeout-us", type=float, default=150.0,
+                   help="initial retransmission timeout (doubles on "
+                        "expiry, resets on ack progress)")
+    p.add_argument("--deadline-us", type=float, default=None,
+                   help="non-convergence watchdog (default scales with "
+                        "--messages)")
+    p.add_argument(
+        "--faults", metavar="SEED:RATES", default=None,
+        help="deterministic fault plan, e.g. "
+             "'42:drop=0.05,dup=0.02,reorder=0.01,corrupt=0.01,"
+             "delay=0.05,dma_stall=0.01'",
+    )
+    p.add_argument("--stats-json", action="store_true",
+                   help="print the full run report as one JSON object "
+                        "(byte-identical for identical plans)")
+    p.set_defaults(fn=cmd_sim)
 
     p = sub.add_parser("stats", help="optimizer statistics")
     p.add_argument("file")

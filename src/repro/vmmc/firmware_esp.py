@@ -221,7 +221,71 @@ def compile_vmmc_esp() -> IRProgram:
     return _PROGRAM_CACHE
 
 
-class VMMCEspFirmware(FirmwareBase):
+class EspMachineFirmware(FirmwareBase):
+    """Base class for firmware that runs ESP through the interpreter.
+
+    Subclasses build their external-channel bridges, call
+    :meth:`_attach_machine`, and implement :meth:`_post` (device event
+    → external channel) — the host-language half of §4.6.  ``step``
+    runs the interpreter to quiescence and charges cycles from real
+    interpreter operation counts (instructions, context switches,
+    transfers, allocations, refcounts) times the cost-model weights.
+    """
+
+    def __init__(self, cost: CostModel, node_id: int):
+        self.cost = cost
+        self.node_id = node_id
+        self.counter = CycleCounter()
+        self._actions: list[FirmwareAction] = []
+
+    def _attach_machine(self, program: IRProgram, externals: dict) -> None:
+        self.machine = Machine(program, externals=externals)
+        self.scheduler = Scheduler(self.machine, policy="stack")
+        self._baseline_counts = self._counts()
+
+    def _post(self, inp: FirmwareInput) -> None:
+        raise NotImplementedError
+
+    def step(self, inputs: list[FirmwareInput]):
+        self._actions = []
+        for inp in inputs:
+            self._post(inp)
+        self.scheduler.run()
+        cycles = self._charge_cycles()
+        self._after_step()
+        return cycles, self._actions
+
+    def _after_step(self) -> None:
+        """Hook for post-quantum work (e.g. timer management)."""
+
+    def _counts(self) -> tuple:
+        c = self.machine.counters
+        h = self.machine.heap.counters
+        return (
+            c.instructions, c.context_switches, c.transfers, c.idle_polls,
+            h.allocations, h.frees, h.links, h.unlinks,
+        )
+
+    def _charge_cycles(self) -> float:
+        now = self._counts()
+        delta = [n - b for n, b in zip(now, self._baseline_counts)]
+        self._baseline_counts = now
+        instructions, switches, transfers, polls, allocs, frees, links, unlinks = delta
+        cost = self.cost
+        cycles = (
+            instructions * cost.cycles_per_instruction
+            + switches * cost.cycles_context_switch
+            + transfers * cost.cycles_transfer
+            + polls * cost.cycles_idle_poll
+            + allocs * cost.cycles_alloc
+            + frees * cost.cycles_free
+            + (links + unlinks) * cost.cycles_refcount
+        )
+        self.counter.charge(cycles, "esp")
+        return cycles
+
+
+class VMMCEspFirmware(EspMachineFirmware):
     """The NIC adapter: runs the ESP firmware through the interpreter
     and charges cycles from real interpreter operation counts.
 
@@ -231,17 +295,13 @@ class VMMCEspFirmware(FirmwareBase):
     """
 
     def __init__(self, cost: CostModel, node_id: int):
-        self.cost = cost
-        self.node_id = node_id
+        super().__init__(cost, node_id)
         self.name = "vmmcESP"
-        self.counter = CycleCounter()
-        program = compile_vmmc_esp()
         self.host_req = QueueWriter(["Send", "Update"])
         self.fetch_done = QueueWriter(["FetchDone"])
         self.store_done = QueueWriter(["StoreDone"])
         self.net_in = QueueWriter(["Data", "Ack"])
-        self._actions: list[FirmwareAction] = []
-        externals = {
+        self._attach_machine(compile_vmmc_esp(), {
             "hostReqC": self.host_req,
             "fetchDoneC": self.fetch_done,
             "storeDoneC": self.store_done,
@@ -250,10 +310,7 @@ class VMMCEspFirmware(FirmwareBase):
             "netOutC": CallbackReader(["Data", "Ack"], self._on_net_out),
             "storeC": CallbackReader(["Store"], self._on_store),
             "notifyC": CallbackReader(["Notify"], self._on_notify),
-        }
-        self.machine = Machine(program, externals=externals)
-        self.scheduler = Scheduler(self.machine, policy="stack")
-        self._baseline_counts = self._counts()
+        })
 
     # -- host-language helpers (the "C side" of §4.6) -----------------------------
 
@@ -297,14 +354,6 @@ class VMMCEspFirmware(FirmwareBase):
 
     # -- FirmwareBase ---------------------------------------------------------------
 
-    def step(self, inputs: list[FirmwareInput]):
-        self._actions = []
-        for inp in inputs:
-            self._post(inp)
-        self.scheduler.run()
-        cycles = self._charge_cycles()
-        return cycles, self._actions
-
     def _post(self, inp: FirmwareInput) -> None:
         if inp.kind == "host_req":
             req = inp.payload
@@ -328,29 +377,3 @@ class VMMCEspFirmware(FirmwareBase):
                 )
             else:
                 self.net_in.post("Ack", pkt["ack"])
-
-    def _counts(self) -> tuple:
-        c = self.machine.counters
-        h = self.machine.heap.counters
-        return (
-            c.instructions, c.context_switches, c.transfers, c.idle_polls,
-            h.allocations, h.frees, h.links, h.unlinks,
-        )
-
-    def _charge_cycles(self) -> float:
-        now = self._counts()
-        delta = [n - b for n, b in zip(now, self._baseline_counts)]
-        self._baseline_counts = now
-        instructions, switches, transfers, polls, allocs, frees, links, unlinks = delta
-        cost = self.cost
-        cycles = (
-            instructions * cost.cycles_per_instruction
-            + switches * cost.cycles_context_switch
-            + transfers * cost.cycles_transfer
-            + polls * cost.cycles_idle_poll
-            + allocs * cost.cycles_alloc
-            + frees * cost.cycles_free
-            + (links + unlinks) * cost.cycles_refcount
-        )
-        self.counter.charge(cycles, "esp")
-        return cycles

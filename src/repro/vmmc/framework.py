@@ -79,3 +79,13 @@ class EventFramework:
             return False
         handler(arg)
         return True
+
+    def stats(self) -> dict:
+        """Dispatch counters for harness reports: lost events are the
+        silent failure mode §2.2 warns about, so surface them."""
+        return {
+            "dispatches": self.dispatches,
+            "dropped_events": self.dropped_events,
+            "machines": {name: sm.state for name, sm in
+                         sorted(self.machines.items())},
+        }

@@ -42,6 +42,64 @@ def ack_packet(src: int, dest: int, ack: int) -> dict:
     return {"type": ACK, "src": src, "dest": dest, "ack": ack, "nbytes": 0}
 
 
+# -- checksums ---------------------------------------------------------------
+#
+# The fault injector corrupts packets by flipping a scalar field on a
+# copy, leaving the checksum stale; a reliable firmware verifies
+# ``csum_ok`` before unmarshalling (checksum work lives with the other
+# marshalling helpers on the C side of the §4.6 split).
+
+def packet_csum(pkt: dict) -> int:
+    """A deterministic Fletcher-style checksum over the packet's scalar
+    fields (everything except ``csum`` itself)."""
+    a, b = 1, 0
+    for key in sorted(pkt):
+        if key == "csum":
+            continue
+        value = pkt[key]
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, int):
+            word = value & 0xFFFFFFFF
+        else:
+            word = sum(str(value).encode()) & 0xFFFFFFFF
+        a = (a + word + sum(key.encode())) % 65521
+        b = (b + a) % 65521
+    return (b << 16) | a
+
+
+def seal(pkt: dict) -> dict:
+    """Stamp the packet's checksum (in place) and return it."""
+    pkt["csum"] = packet_csum(pkt)
+    return pkt
+
+
+def csum_ok(pkt: dict) -> bool:
+    """True when the packet's checksum matches its contents; packets
+    that never carried one (perfect-link firmwares) pass trivially."""
+    stamp = pkt.get("csum")
+    return stamp is None or stamp == packet_csum(pkt)
+
+
+def retrans_data_packet(src: int, dest: int, seq: int, val: int,
+                        nbytes: int) -> dict:
+    """A data packet of the runtime retransmission protocol (§5.3):
+    one sequence number, one integer payload, sealed with a checksum."""
+    return seal({
+        "type": DATA,
+        "src": src,
+        "dest": dest,
+        "seq": seq,
+        "val": val,
+        "nbytes": nbytes,
+    })
+
+
+def retrans_ack_packet(src: int, dest: int, ack: int) -> dict:
+    """A sealed explicit ack for the runtime retransmission protocol."""
+    return seal(ack_packet(src, dest, ack))
+
+
 @dataclass
 class SendWindow:
     """Sender-side sliding window state (go-back-N bookkeeping)."""

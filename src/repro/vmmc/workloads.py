@@ -18,12 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.sim.events import Simulator
+from repro.sim.faults import FaultPlan
 from repro.sim.host import Host
 from repro.sim.network import Wire
 from repro.sim.nic import NIC
 from repro.sim.timing import CostModel
 from repro.vmmc.baseline import VMMCBaselineFirmware
 from repro.vmmc.firmware_esp import VMMCEspFirmware
+from repro.vmmc.retransmission import run_over_faulty_link
 
 IMPLEMENTATIONS = ("esp", "orig", "orig_nofast")
 
@@ -47,22 +49,27 @@ class Pair:
     hosts: list[Host]
     nics: list[NIC]
     wire: Wire
+    faults: object = None  # the run's FaultSession, when injecting
 
 
-def build_pair(impl: str, cost: CostModel | None = None) -> Pair:
-    """Build the two-node platform under one firmware implementation."""
+def build_pair(impl: str, cost: CostModel | None = None,
+               faults: FaultPlan | None = None) -> Pair:
+    """Build the two-node platform under one firmware implementation,
+    optionally over a faulty link (a :class:`FaultPlan`)."""
     cost = cost or CostModel()
     sim = Simulator()
-    wire = Wire(sim, cost)
+    session = faults.start() if faults is not None else None
+    wire = Wire(sim, cost, faults=session)
     nics, hosts = [], []
     for side in (0, 1):
-        nic = NIC(sim, cost, side, make_firmware(impl, cost, side))
+        nic = NIC(sim, cost, side, make_firmware(impl, cost, side),
+                  faults=session)
         nic.wire = wire
         wire.attach(side, nic)
         host = Host(sim, cost, nic)
         nics.append(nic)
         hosts.append(host)
-    return Pair(sim, cost, hosts, nics, wire)
+    return Pair(sim, cost, hosts, nics, wire, faults=session)
 
 
 @dataclass
@@ -174,6 +181,35 @@ def bidirectional_bandwidth(impl: str, size: int, messages: int = 40,
     )
 
 
+def degraded_link_bandwidth(loss: float, size: int = 4096,
+                            messages: int = 120, seed: int = 1,
+                            window: int = 8,
+                            cost: CostModel | None = None) -> BenchmarkResult:
+    """Goodput of the retransmission firmware streaming ``messages``
+    chunks of ``size`` bytes over a link dropping ``loss`` of its
+    packets — the degraded-link companion to Figure 5(b)."""
+    plan = FaultPlan(seed=seed, drop=loss) if loss > 0 else None
+    report = run_over_faulty_link(messages=messages, chunk_bytes=size,
+                                  window=window, plan=plan, cost=cost)
+    if not report.converged:
+        raise RuntimeError(
+            f"degraded link run did not converge: {report.summary()}"
+        )
+    bandwidth = (messages * size) / report.time_us  # bytes/µs == MB/s
+    rel = [nic["reliability"] for nic in report.nics]
+    return BenchmarkResult(
+        impl="retrans", size=size, bandwidth_mb_s=bandwidth,
+        messages=messages, elapsed_us=report.time_us,
+        extra={
+            "loss": loss,
+            "retransmissions": sum(r["retransmissions"] for r in rel),
+            "timeouts": sum(r["timeouts"] for r in rel),
+            "injected": report.faults,
+            "wire": report.wire,
+        },
+    )
+
+
 def _fw_stats(pair: Pair) -> dict:
     extra = {}
     for i, nic in enumerate(pair.nics):
@@ -183,4 +219,12 @@ def _fw_stats(pair: Pair) -> dict:
         if taken is not None:
             extra[f"nic{i}_fastpath_taken"] = taken
             extra[f"nic{i}_fastpath_missed"] = fw.fastpath_missed
+        framework = getattr(fw, "fw", None)
+        if framework is not None:
+            extra[f"nic{i}_dispatches"] = framework.stats()["dispatches"]
+    # Per-direction link counters (packets/bytes serialised, deliveries,
+    # fault losses) — see docs/FAULTS.md.
+    extra["wire"] = pair.wire.stats()
+    if pair.faults is not None:
+        extra["faults"] = pair.faults.stats.as_dict()
     return extra

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.sim.faults import FaultPlan
+
 # Small domains keep state spaces tiny (hundreds of states, not
 # thousands): message payload ints, per-channel message counts.
 _INTS = st.integers(min_value=0, max_value=2)
@@ -91,6 +93,30 @@ def _consume_stmt(draw, ci: int, kind: str, counter: str, bound) -> list[str]:
         "            }",
         "        }",
     ]
+
+
+_RATES = st.sampled_from((0.0, 0.0, 0.01, 0.02, 0.05, 0.1))
+
+
+@st.composite
+def fault_plans(draw) -> FaultPlan:
+    """A random deterministic fault plan with bounded rates.
+
+    Every packet-fault rate is drawn from a small menu (most draws are
+    0, so plans exercise one or two fault kinds at a time) and the sum
+    stays well under 1, keeping end-to-end runs short enough for a
+    property test while still covering drop/dup/reorder/delay/corrupt
+    mixes and DMA stalls.
+    """
+    return FaultPlan(
+        seed=draw(st.integers(min_value=0, max_value=2**32 - 1)),
+        drop=draw(_RATES),
+        dup=draw(_RATES),
+        reorder=draw(_RATES),
+        delay=draw(_RATES),
+        corrupt=draw(_RATES),
+        dma_stall=draw(_RATES),
+    )
 
 
 @st.composite

@@ -1,0 +1,223 @@
+"""End-to-end fault injection: the verified retransmission protocol
+(§5.3) running as firmware over the deterministic faulty link.
+
+Three layers of evidence:
+
+* a Hypothesis property — under *any* bounded fault plan the protocol
+  delivers every payload exactly once, in order, and the firmware's
+  ESP heap is leak-free at quiescence (allocations all returned);
+* seeded deterministic runs — scripted faults force specific recovery
+  paths (timeout → retransmit, DMA stalls, per-direction wire stats),
+  and identical ``(seed, rates)`` plans produce byte-identical reports;
+* the ``BUGGY_VARIANTS`` regression — each seeded protocol bug that the
+  verifier catches statically also *misbehaves observably* on the
+  simulated faulty wire, while the correct protocol survives the same
+  adversarial plans.
+
+The ``slow``-marked soak run (10k payloads, bidirectional, 5% loss)
+additionally reconciles every counter: what the firmware says it sent
+equals what the wire serialised, and what the injector says it dropped
+equals what the wire lost.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import AssertionFailure
+from repro.sim.faults import FaultPlan
+from repro.vmmc.retransmission import BUGGY_VARIANTS, run_over_faulty_link
+
+from tests.strategies import fault_plans
+
+# Scripted adversaries (verified to trigger each seeded bug):
+# dropping side 1's final cumulative ack forces the sender to time out
+# and retransmit already-delivered data; dropping side 0's last data
+# packet makes the receiver's premature ack cover it falsely.
+_DROP_LAST_ACK = FaultPlan(seed=1).scripted("wire1", 2, "drop")
+_DROP_LAST_DATA = FaultPlan(seed=1).scripted("wire0", 2, "drop")
+
+
+# -- plan construction and validation -------------------------------------------
+
+
+def test_parse_roundtrip():
+    plan = FaultPlan.parse("42:drop=0.05,dup=0.02,dma_stall=0.01")
+    assert plan.seed == 42
+    assert plan.drop == 0.05 and plan.dup == 0.02 and plan.dma_stall == 0.01
+    assert FaultPlan.parse(plan.describe()) == plan
+    assert FaultPlan.parse("7") == FaultPlan(seed=7)
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError, match="bad fault seed"):
+        FaultPlan.parse("x:drop=0.1")
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultPlan.parse("1:melt=0.1")
+    with pytest.raises(ValueError, match="bad rate"):
+        FaultPlan.parse("1:drop=lots")
+
+
+def test_rates_validated():
+    with pytest.raises(ValueError, match="outside"):
+        FaultPlan(drop=1.5)
+    with pytest.raises(ValueError, match="sum"):
+        FaultPlan(drop=0.6, dup=0.6)
+
+
+# -- deterministic seeded runs --------------------------------------------------
+
+
+def test_clean_link_per_direction_stats():
+    """Satellite: ``Wire`` exposes per-direction counters."""
+    report = run_over_faulty_link(messages=5)
+    assert report.converged and report.exactly_once_in_order()
+    assert set(report.wire) == {"wire0", "wire1"}
+    for side in (0, 1):
+        stats = report.wire[f"wire{side}"]
+        assert stats["packets"] > 0
+        assert stats["delivered"] == stats["packets"]  # nothing injected
+        assert stats["lost"] == 0
+        assert stats["bytes"] > 0
+    # wire0 carries the data stream, wire1 only acks.
+    assert report.wire["wire0"]["bytes"] > report.wire["wire1"]["bytes"]
+
+
+def test_scripted_drop_forces_timeout_and_retransmit():
+    plan = FaultPlan(seed=5).scripted("wire0", 1, "drop")
+    report = run_over_faulty_link(messages=4, plan=plan)
+    assert report.converged and report.exactly_once_in_order()
+    rel = report.nics[0]["reliability"]
+    assert rel["timeouts"] >= 1
+    assert rel["retransmissions"] >= 1
+    assert rel["recoveries"] >= 1
+    assert report.wire["wire0"]["lost"] == 1
+    assert report.faults == {"wire0": {"drop": 1}}
+
+
+def test_corrupt_packets_are_detected_and_dropped():
+    plan = FaultPlan(seed=11, corrupt=0.2)
+    report = run_over_faulty_link(messages=20, plan=plan)
+    assert report.converged and report.exactly_once_in_order()
+    corrupted = sum(per.get("corrupt", 0) for per in report.faults.values())
+    assert corrupted > 0
+    dropped = sum(nic["reliability"]["corrupt_dropped"] for nic in report.nics)
+    assert dropped == corrupted
+
+
+def test_dma_stalls_are_injected_and_counted():
+    plan = FaultPlan(seed=3, dma_stall=0.5)
+    report = run_over_faulty_link(messages=5, plan=plan)
+    assert report.converged and report.exactly_once_in_order()
+    injected = sum(count for stream, per in report.faults.items()
+                   for count in per.values() if stream.startswith("dma/"))
+    assert injected > 0
+    assert sum(nic["dma_stalls"] for nic in report.nics) == injected
+
+
+def test_same_plan_produces_byte_identical_stats_json():
+    plan = FaultPlan(seed=77, drop=0.05, dup=0.02, reorder=0.02, delay=0.05)
+    first = run_over_faulty_link(messages=30, messages_back=10, plan=plan)
+    second = run_over_faulty_link(messages=30, messages_back=10, plan=plan)
+    assert first.stats_json() == second.stats_json()
+    # And a different seed really does take a different path.
+    other = run_over_faulty_link(messages=30, messages_back=10,
+                                 plan=FaultPlan(seed=78, drop=0.05, dup=0.02,
+                                                reorder=0.02, delay=0.05))
+    assert other.stats_json() != first.stats_json()
+
+
+# -- the exactly-once / in-order / leak-free property ---------------------------
+
+
+@given(fault_plans())
+@settings(max_examples=25, deadline=None)
+def test_any_plan_delivers_exactly_once_in_order(plan):
+    report = run_over_faulty_link(messages=8, messages_back=4, window=4,
+                                  plan=plan)
+    assert report.converged, report.summary()
+    assert report.exactly_once_in_order()
+    for nic in report.nics:
+        # No refcount leaks at quiescence: every ESP allocation the
+        # firmware made while recovering was returned to the heap.
+        assert nic["heap_live_objects"] == nic["heap_live_baseline"]
+        assert nic["reliability"]["delivered"] == len(
+            report.delivered[nic["side"]]
+        )
+
+
+# -- the seeded bugs misbehave on the wire too ----------------------------------
+
+
+def test_buggy_variants_are_all_exercised():
+    assert set(BUGGY_VARIANTS) == {
+        "duplicate_delivery", "window_overrun", "premature_ack"
+    }
+
+
+def test_correct_protocol_survives_the_adversarial_plans():
+    for plan in (_DROP_LAST_ACK, _DROP_LAST_DATA):
+        report = run_over_faulty_link(messages=3, plan=plan)
+        assert report.converged and report.exactly_once_in_order()
+
+
+def test_duplicate_delivery_bug_delivers_twice():
+    report = run_over_faulty_link(messages=3, plan=_DROP_LAST_ACK,
+                                  variant="duplicate_delivery")
+    # The dropped ack forces a retransmit; the buggy receiver (accepts
+    # seq <= expect) hands the repeated payload to the host again.
+    assert report.delivered[1] == [0, 10, 20, 20]
+    assert not report.exactly_once_in_order()
+
+
+def test_premature_ack_bug_loses_a_payload():
+    report = run_over_faulty_link(messages=3, plan=_DROP_LAST_DATA,
+                                  variant="premature_ack")
+    # The buggy receiver acks one seq ahead, so the sender believes the
+    # dropped packet arrived and finishes with the payload lost.
+    assert report.nics[0]["sender_done"]
+    assert report.delivered[1] == [0, 10]
+    assert not report.exactly_once_in_order()
+
+
+def test_window_overrun_bug_trips_the_window_assertion():
+    # The off-by-one sender overruns its own window even on a clean
+    # link; the protocol's inline assertion catches it at runtime just
+    # as the verifier does statically.
+    with pytest.raises(AssertionFailure):
+        run_over_faulty_link(messages=6, window=2, variant="window_overrun")
+
+
+# -- the soak run ---------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_soak_bidirectional_10k_payloads_at_5pct_loss():
+    """10k payloads ping-ponged across a 5%-lossy link: the run must
+    converge and every counter must reconcile exactly."""
+    report = run_over_faulty_link(messages=5000, messages_back=5000,
+                                  plan=FaultPlan(seed=42, drop=0.05))
+    assert report.converged, report.summary()
+    assert report.exactly_once_in_order()
+    for side in (0, 1):
+        rel = report.nics[side]["reliability"]
+        wire = report.wire[f"wire{side}"]
+        # Everything the firmware sent is exactly what the wire
+        # serialised in its direction...
+        assert wire["packets"] == (rel["data_sent"] + rel["retransmissions"]
+                                   + rel["acks_sent"])
+        # ...and everything the injector dropped is exactly what the
+        # wire lost.
+        assert wire["lost"] == report.faults[f"wire{side}"]["drop"]
+        assert wire["delivered"] == wire["packets"] - wire["lost"]
+        assert rel["data_sent"] == 5000
+        assert rel["delivered"] == 5000
+        # Loss forced real recovery work.
+        assert rel["retransmissions"] > 0
+        assert rel["timeouts"] > 0
+        assert rel["recoveries"] > 0
+        assert rel["recovery_us_max"] >= rel["recovery_us_total"] / max(
+            rel["recoveries"], 1
+        )
+        # Leak-free after ~14k packets of recovery churn per direction.
+        assert (report.nics[side]["heap_live_objects"]
+                == report.nics[side]["heap_live_baseline"])

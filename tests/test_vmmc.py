@@ -114,7 +114,7 @@ def test_multi_page_messages_are_chunked(impl):
     pair.sim.run_until(lambda: received, max_events=2_000_000)
     assert len(received) == 1
     # 3 data chunks crossed the wire (plus acks).
-    assert pair.wire.stats()["packets"][0] >= 3
+    assert pair.wire.direction_stats(0)["packets"] >= 3
 
 
 @pytest.mark.parametrize("impl", IMPLEMENTATIONS)
