@@ -1,0 +1,302 @@
+"""E7 — closure-compiled engine vs. the AST reference interpreter.
+
+The paper's backend compiles each ESP process to threaded C where a
+context switch is a ``goto`` through a dispatch table (§4.3, §6.1).
+``repro.runtime.compile`` reproduces that scheme in Python — one
+closure per instruction, preresolved variable slots, precompiled
+pattern dispatchers — and this benchmark is its performance contract:
+
+* **verification scaling** — exhaustive exploration of compute-heavy
+  relay pipelines (each hop runs a long deterministic stretch, the
+  regime §5's state-machine reduction creates: all interleaving happens
+  at blocking points, everything between them is straight-line code).
+  Gate: the compiled engine explores >= 3x states/sec.
+* **Fig. 5 workloads** — machine-level message throughput on the three
+  communication shapes of the paper's Figure 5 (ping-pong latency,
+  one-way windowed bandwidth, bidirectional bandwidth), each with a
+  per-message checksum loop standing in for the firmware's per-packet
+  work.  Gate: the compiled engine moves >= 3x messages/sec.
+
+Both engines must also agree *exactly* on states, transitions,
+transfers, and instruction counts — a benchmark run doubles as a
+coarse conformance check (the fine-grained one is
+tests/test_engine_differential.py).
+
+Results are written to ``BENCH_engine.json`` (keyed by mode, like
+BENCH_verify.json).  ``ESP_BENCH_SMOKE=1`` runs scaled-down models;
+the 3x gates apply only to the full-size run, where stretch work
+dominates timing noise.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from benchmarks.harness import Table
+from repro.api import compile_source
+from repro.runtime.machine import ENGINES, Machine
+from repro.runtime.scheduler import Scheduler
+from repro.verify.explorer import Explorer
+
+_SMOKE = bool(os.environ.get("ESP_BENCH_SMOKE"))
+_BENCH_PATH = pathlib.Path(__file__).with_name("BENCH_engine.json")
+
+MIN_SPEEDUP = 3.0
+_REPEATS = 1 if _SMOKE else 2
+
+# Inner loop standing in for per-packet firmware work (checksum over
+# `words` payload words) — what makes the workloads interpretation-
+# bound rather than scheduler-bound, mirroring the real VMMC firmware
+# which copies/checksums every chunk it moves.
+_CHECKSUM = ("$sum = 0; $w = 0; "
+             "while (w < {words}) {{ "
+             "sum = (sum + (({seed} + w) * 31 & 65535)) % 65521; "
+             "w = w + 1; }}")
+
+
+def compute_pipeline_source(stages: int, messages: int, work: int) -> str:
+    """A relay pipeline where every hop runs ``work`` iterations of
+    arithmetic before forwarding: the verification scaling model.  The
+    state count (what the verifier pays per snapshot) is set by
+    stages x messages; the stretch length (what the engine pays per
+    transition) is set by ``work`` — so the ratio of the two engines'
+    states/sec isolates interpretation speed."""
+    lines = []
+    for i in range(stages + 1):
+        lines.append(f"channel c{i}: int")
+    lines.append("process source {")
+    for m in range(messages):
+        lines.append(f"    out( c0, {m});")
+    lines.append("}")
+    for i in range(stages):
+        lines.append(f"process relay{i} {{")
+        lines.append("    while (true) {")
+        lines.append(f"        in( c{i}, $x);")
+        lines.append("        $a = x; $j = 0;")
+        lines.append(f"        while (j < {work}) "
+                     "{ a = (a * 7 + j) % 97; j = j + 1; }")
+        lines.append(f"        out( c{i + 1}, a);")
+        lines.append("    }")
+        lines.append("}")
+    lines.append("process sink {")
+    lines.append("    $n = 0;")
+    lines.append(f"    while (n < {messages}) {{ in( c{stages}, $v); "
+                 "n = n + 1; }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def pingpong_source(rounds: int, words: int) -> str:
+    """Fig. 5(a) shape: request/reply round trips, checksum per leg."""
+    client_sum = _CHECKSUM.format(words=words, seed="(n + w)")
+    server_sum = _CHECKSUM.format(words=words, seed="(payload + w)")
+    return f"""
+channel reqC: int
+channel repC: int
+
+process client {{
+    $n = 0;
+    while (n < {rounds}) {{
+        {client_sum}
+        out( reqC, sum);
+        in( repC, $ack);
+        n = n + 1;
+    }}
+}}
+
+process server {{
+    $n = 0;
+    while (n < {rounds}) {{
+        in( reqC, $payload);
+        {server_sum}
+        out( repC, sum);
+        n = n + 1;
+    }}
+}}
+"""
+
+
+def bandwidth_source(messages: int, window: int, words: int) -> str:
+    """Fig. 5(b) shape: a one-way stream under a credit window; the
+    sender's alt overlaps sending with ack consumption."""
+    send_sum = _CHECKSUM.format(words=words, seed="(sent + w)")
+    recv_sum = _CHECKSUM.format(words=words, seed="(n + w)")
+    return f"""
+channel dataC: int
+channel ackC: int
+
+process sender {{
+    $credits = {window};
+    $sent = 0;
+    $acked = 0;
+    $chk = 0;
+    while (acked < {messages}) {{
+        alt {{
+            case( sent < {messages} && credits > 0, out( dataC, chk)) {{
+                credits = credits - 1;
+                sent = sent + 1;
+                {send_sum}
+                chk = sum;
+            }}
+            case( in( ackC, $c)) {{
+                credits = credits + 1;
+                acked = acked + 1;
+            }}
+        }}
+    }}
+}}
+
+process receiver {{
+    $n = 0;
+    while (n < {messages}) {{
+        in( dataC, $d);
+        {recv_sum}
+        out( ackC, sum);
+        n = n + 1;
+    }}
+}}
+"""
+
+
+def bidirectional_source(messages: int, words: int) -> str:
+    """Fig. 5(c) shape: both sides stream concurrently, interleaving
+    sends and receives through a two-armed alt."""
+    def side(me: int, mine: str, theirs: str) -> str:
+        send_sum = _CHECKSUM.format(words=words, seed="(sent + w)")
+        recv_sum = ("$rsum = 0; $r = 0; "
+                    f"while (r < {words}) {{ "
+                    "rsum = (rsum + ((got + r) * 31 & 65535)) % 65521; "
+                    "r = r + 1; }")
+        return f"""
+process side{me} {{
+    $sent = 0;
+    $got = 0;
+    while (sent < {messages} || got < {messages}) {{
+        alt {{
+            case( sent < {messages}, out( {mine}, sent)) {{
+                sent = sent + 1;
+                {send_sum}
+            }}
+            case( got < {messages}, in( {theirs}, $d)) {{
+                got = got + 1;
+                {recv_sum}
+            }}
+        }}
+    }}
+}}
+"""
+    return ("channel abC: int\nchannel baC: int\n"
+            + side(0, "abC", "baC") + side(1, "baC", "abC"))
+
+
+def _verification_models():
+    if _SMOKE:
+        return {"compute pipeline s6m2w32": compute_pipeline_source(6, 2, 32)}
+    return {
+        "compute pipeline s10m3w128": compute_pipeline_source(10, 3, 128),
+        "compute pipeline s12m4w128": compute_pipeline_source(12, 4, 128),
+    }
+
+
+def _fig5_workloads():
+    if _SMOKE:
+        return {"pingpong r200w32": pingpong_source(200, 32)}
+    return {
+        "pingpong r4000w32": pingpong_source(4000, 32),
+        "bandwidth m2500w8c64": bandwidth_source(2500, 8, 64),
+        "bidirectional m2000w64": bidirectional_source(2000, 64),
+    }
+
+
+def _write_rows(section: str, rows: dict) -> None:
+    mode = "smoke" if _SMOKE else "full"
+    merged = {}
+    if _BENCH_PATH.exists():
+        merged = json.loads(_BENCH_PATH.read_text())
+    merged.setdefault(mode, {})[section] = rows
+    _BENCH_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+
+def test_verification_scaling_gate():
+    table = Table(
+        "Verifier throughput: compiled engine vs. AST reference",
+        ["model", "states", "ast st/s", "compiled st/s", "speedup"],
+    )
+    rows = {}
+    failures = []
+    for name, source in _verification_models().items():
+        per_engine = {}
+        shape = {}
+        for engine in ENGINES:
+            best = 0.0
+            for _ in range(_REPEATS):  # best-of-N damps scheduler noise
+                machine = Machine(compile_source(source), engine=engine)
+                result = Explorer(machine, stop_at_first=False).explore()
+                assert result.ok and result.complete, (name, engine)
+                best = max(best, result.states
+                           / max(result.elapsed_seconds, 1e-9))
+                shape[engine] = (result.states, result.transitions)
+            per_engine[engine] = best
+        # Both engines must explore the identical state space.
+        assert shape["ast"] == shape["compiled"], (name, shape)
+        speedup = per_engine["compiled"] / per_engine["ast"]
+        rows[name] = dict(
+            states=shape["ast"][0],
+            transitions=shape["ast"][1],
+            ast_states_per_sec=round(per_engine["ast"], 1),
+            compiled_states_per_sec=round(per_engine["compiled"], 1),
+            speedup=round(speedup, 2),
+        )
+        table.add(name, shape["ast"][0], int(per_engine["ast"]),
+                  int(per_engine["compiled"]), f"{speedup:.2f}x")
+        if not _SMOKE and speedup < MIN_SPEEDUP:
+            failures.append((name, speedup))
+    table.note(f"gate: compiled >= {MIN_SPEEDUP}x states/sec "
+               f"({'advisory in smoke mode' if _SMOKE else 'enforced'})")
+    table.show()
+    _write_rows("verification", rows)
+    assert not failures, f"speedup below {MIN_SPEEDUP}x: {failures}"
+
+
+def test_fig5_throughput_gate():
+    table = Table(
+        "Fig. 5 message throughput: compiled engine vs. AST reference",
+        ["workload", "messages", "ast msg/s", "compiled msg/s", "speedup"],
+    )
+    rows = {}
+    failures = []
+    for name, source in _fig5_workloads().items():
+        per_engine = {}
+        shape = {}
+        for engine in ENGINES:
+            best = 0.0
+            for _ in range(_REPEATS):  # best-of-N damps scheduler noise
+                machine = Machine(compile_source(source), engine=engine)
+                start = time.perf_counter()
+                result = Scheduler(machine).run(max_transfers=10_000_000)
+                elapsed = time.perf_counter() - start
+                assert result.reason == "done", (name, engine, result.reason)
+                best = max(best, result.transfers / max(elapsed, 1e-9))
+                shape[engine] = (result.transfers, result.instructions)
+            per_engine[engine] = best
+        # Identical transfer and instruction counts: the engines ran
+        # the same execution, so the ratio is pure interpretation speed.
+        assert shape["ast"] == shape["compiled"], (name, shape)
+        speedup = per_engine["compiled"] / per_engine["ast"]
+        rows[name] = dict(
+            messages=shape["ast"][0],
+            instructions=shape["ast"][1],
+            ast_messages_per_sec=round(per_engine["ast"], 1),
+            compiled_messages_per_sec=round(per_engine["compiled"], 1),
+            speedup=round(speedup, 2),
+        )
+        table.add(name, shape["ast"][0], int(per_engine["ast"]),
+                  int(per_engine["compiled"]), f"{speedup:.2f}x")
+        if not _SMOKE and speedup < MIN_SPEEDUP:
+            failures.append((name, speedup))
+    table.note(f"gate: compiled >= {MIN_SPEEDUP}x messages/sec "
+               f"({'advisory in smoke mode' if _SMOKE else 'enforced'})")
+    table.show()
+    _write_rows("fig5", rows)
+    assert not failures, f"speedup below {MIN_SPEEDUP}x: {failures}"

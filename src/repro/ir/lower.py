@@ -134,10 +134,12 @@ class _ProcessLowerer:
                     guard=case.guard,
                     pattern=op.pattern,
                     port_index=getattr(op.pattern, "port_index", -1),
+                    span=case.span,
                 )
             elif isinstance(op, ast.OutStmt):
                 arm = ir.AltArm(
-                    kind="out", channel=op.channel, guard=case.guard, expr=op.value
+                    kind="out", channel=op.channel, guard=case.guard,
+                    expr=op.value, span=case.span,
                 )
             else:
                 raise LoweringError("alt case op must be in/out", case.span)

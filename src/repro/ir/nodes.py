@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.lang import ast
 from repro.lang.patterns import PatternAnalysis
+from repro.lang.source import Span
 from repro.lang.types import ChannelInfo, Type
 
 
@@ -117,7 +118,12 @@ class Out(Instr):
 @dataclass
 class AltArm:
     """One case of an ``Alt``: an optional guard, a channel operation,
-    and the PC of the case body."""
+    and the PC of the case body.
+
+    ``span`` is the ``case``'s own source region.  The enclosing
+    ``Alt`` instruction's span covers the whole statement; arm spans
+    are what let diagnostics (deadlock reports, counterexamples) point
+    at the specific case a process is blocked on."""
 
     kind: str = "in"  # "in" | "out"
     channel: str = ""
@@ -127,6 +133,7 @@ class AltArm:
     port_index: int = -1
     body_target: int = -1
     fused: bool = False
+    span: Optional[Span] = None
 
 
 @dataclass
@@ -191,6 +198,13 @@ class IRProcess:
     locals: dict[str, Type] = dc_field(default_factory=dict)
     # channel -> bit position in this process's wait bitmask (§6.1).
     channel_bits: dict[str, int] = dc_field(default_factory=dict)
+    # Preresolved variable slots (repro.ir.slots): unique local name ->
+    # dense frame index, plus the name-sorted ``(name, slot)`` iteration
+    # order shared by every canonical/portable state encoding.
+    slot_of: dict[str, int] = dc_field(default_factory=dict)
+    canon_order: tuple = ()
+    nslots: int = 0
+    slots_resolved: bool = False
 
     def state_points(self) -> list[int]:
         """PCs of blocking instructions — the state-machine states."""

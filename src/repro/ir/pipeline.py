@@ -19,6 +19,7 @@ from repro.ir.crossproc import apply_cross_process_constants
 from repro.ir.dce import compact_nops, eliminate_dead_code
 from repro.ir.fold import fold_process
 from repro.ir.lower import lower
+from repro.ir.slots import resolve_slots
 from repro.lang.program import FrontendResult
 
 _MAX_PASSES = 10
@@ -107,4 +108,7 @@ def compile_ir(front: FrontendResult, level: OptLevel = OptLevel.FULL):
     """Lower and optimize in one call; returns (IRProgram, OptStats)."""
     program = lower(front)
     stats = optimize(program, level)
+    # Slot resolution must see the final instruction lists (copy
+    # propagation and cross-process constants rewrite variable reads).
+    resolve_slots(program)
     return program, stats

@@ -16,6 +16,14 @@ strings, numbers — are shared with the original tree.  Sharing is
 sound because annotation is attribute *assignment* on a node (which
 lands in the clone's own ``__dict__``), never mutation of a leaf
 value.
+
+Spans in particular are shared, never dropped: every cloned node keeps
+its ``span`` attribute pointing at the original
+:class:`~repro.lang.source.Span`, so IR lowered from a clone (e.g.
+``ir.AltArm.span``, which deadlock reports and counterexamples print)
+carries the *original* file coordinates — an isolated re-check in
+:mod:`repro.verify.memsafety` diagnoses against the user's source, not
+a synthetic copy.
 """
 
 from __future__ import annotations

@@ -1,0 +1,795 @@
+"""Closure compilation of ESP processes ("threaded code").
+
+The paper's backend compiles each process to a C state machine whose
+context switch is a program-counter store (§4.3, §6.1).  This module
+is the Python analogue: every IR instruction is lowered *once* into a
+closure ``handler(machine, ps) -> next_pc`` with its operands —
+variable slots, jump targets, field offsets, wait masks, constants —
+resolved at compile time, and :func:`run_until_block_compiled` drives
+the handler table with the PC in a local until the process blocks.
+
+The compiled engine is observationally identical to the AST walker in
+:mod:`repro.runtime.interp` (the reference oracle, selectable with
+``--engine ast``): same instruction/step counters, same heap
+refcount traffic, same error messages and spans, same
+:class:`BlockInfo` blocking records.  ``tests/test_engine_differential``
+enforces this over the examples corpus and generated programs.
+
+Expression closures carry a static freshness mode: ``False`` (never a
+fresh temporary), ``True`` (always fresh — allocations and casts), or
+:data:`DYNAMIC` (component reads through a possibly-fresh base, where
+the closure returns a ``(value, fresh)`` pair).
+"""
+
+from __future__ import annotations
+
+import operator
+
+from repro.errors import AssertionFailure, ESPRuntimeError
+from repro.lang import ast
+from repro.ir import nodes as ir
+from repro.ir.slots import resolve_process_slots
+from repro.runtime.interp import BlockInfo, EnabledArm, Status, _store_slot
+from repro.runtime.values import Ref, UNSET
+
+# Handler return sentinel: the process blocked (or halted); the handler
+# has already written ``ps.pc``/``ps.status``/``ps.block``.
+BLOCKED = -1
+
+# Freshness mode for expressions whose result ownership is only known
+# at run time (reading a component out of a possibly-fresh aggregate).
+DYNAMIC = "dynamic"
+
+_DIRECT_OPS = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "&": operator.and_,
+    "|": operator.or_,
+    "^": operator.xor,
+    "<<": operator.lshift,
+    ">>": operator.rshift,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def _pairify(fn, mode):
+    """Wrap a compiled expression so it always returns (value, fresh)."""
+    if mode is DYNAMIC:
+        return fn
+    if mode:
+        return lambda machine, ps: (fn(machine, ps), True)
+    return lambda machine, ps: (fn(machine, ps), False)
+
+
+def _valuify(fn, mode):
+    """Wrap a compiled expression so it returns the bare value (for
+    sites that ignore freshness, e.g. ``Decl``)."""
+    if mode is DYNAMIC:
+        return lambda machine, ps: fn(machine, ps)[0]
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+def compile_expr(e: ast.Expr, proc: ir.IRProcess, consts: dict):
+    """Compile ``e`` to ``(closure, freshness_mode)``; the closure is
+    ``fn(machine, ps) -> value`` (or ``-> (value, fresh)`` when the
+    mode is :data:`DYNAMIC`)."""
+    if isinstance(e, ast.IntLit):
+        value = e.value
+        return (lambda machine, ps: value), False
+    if isinstance(e, ast.BoolLit):
+        value = e.value
+        return (lambda machine, ps: value), False
+    if isinstance(e, ast.ProcessId):
+        pid = proc.pid
+        return (lambda machine, ps: pid), False
+    if isinstance(e, ast.Var):
+        return _compile_var(e, proc, consts), False
+    if isinstance(e, ast.Unary):
+        fo, _ = compile_expr(e.operand, proc, consts)
+        if e.op == "!":
+            return (lambda machine, ps: not fo(machine, ps)), False
+        return (lambda machine, ps: -fo(machine, ps)), False
+    if isinstance(e, ast.Binary):
+        return _compile_binary(e, proc, consts), False
+    if isinstance(e, ast.Index):
+        return _compile_index(e, proc, consts)
+    if isinstance(e, ast.FieldAccess):
+        return _compile_field(e, proc, consts)
+    if isinstance(e, ast.RecordLit):
+        return _compile_alloc("record", e.items, e.mutable, None, proc, consts), True
+    if isinstance(e, ast.ArrayLit):
+        return _compile_alloc("array", e.items, e.mutable, None, proc, consts), True
+    if isinstance(e, ast.UnionLit):
+        return _compile_alloc("union", [e.value], e.mutable, e.tag, proc, consts), True
+    if isinstance(e, ast.ArrayFill):
+        return _compile_fill(e, proc, consts), True
+    if isinstance(e, ast.Cast):
+        return _compile_cast(e, proc, consts), True
+    kind, span = type(e).__name__, e.span
+
+    def unhandled(machine, ps):
+        raise ESPRuntimeError(f"unhandled expression {kind}", span)
+
+    return unhandled, False
+
+
+def _compile_var(e: ast.Var, proc: ir.IRProcess, consts: dict):
+    unique = getattr(e, "unique_name", None)
+    name, span = e.name, e.span
+    if unique is not None:
+        slot = proc.slot_of.get(unique, -1)
+        if slot < 0:
+            def unbound_local(machine, ps):
+                raise ESPRuntimeError(
+                    f"variable '{name}' read before initialisation", span
+                )
+
+            return unbound_local
+
+        def read(machine, ps):
+            value = ps.frame[slot]
+            if value is UNSET:
+                raise ESPRuntimeError(
+                    f"variable '{name}' read before initialisation", span
+                )
+            return value
+
+        return read
+    if name in consts:
+        value = consts[name]
+        return lambda machine, ps: value
+
+    def unbound(machine, ps):
+        raise ESPRuntimeError(f"unbound variable '{name}'", span)
+
+    return unbound
+
+
+def _compile_binary(e: ast.Binary, proc: ir.IRProcess, consts: dict):
+    op, span = e.op, e.span
+    fl, _ = compile_expr(e.left, proc, consts)
+    if op == "&&":
+        fr, _ = compile_expr(e.right, proc, consts)
+
+        def and_(machine, ps):
+            if not fl(machine, ps):
+                return False
+            return bool(fr(machine, ps))
+
+        return and_
+    if op == "||":
+        fr, _ = compile_expr(e.right, proc, consts)
+
+        def or_(machine, ps):
+            if fl(machine, ps):
+                return True
+            return bool(fr(machine, ps))
+
+        return or_
+    fr, _ = compile_expr(e.right, proc, consts)
+    direct = _DIRECT_OPS.get(op)
+    if direct is not None:
+        return lambda machine, ps: direct(fl(machine, ps), fr(machine, ps))
+    if op == "/":
+        def div(machine, ps):
+            left, right = fl(machine, ps), fr(machine, ps)
+            if right == 0:
+                raise ESPRuntimeError("division by zero", span)
+            # C-style truncation, as in typecheck._fold_binary.
+            return int(left / right)
+
+        return div
+    if op == "%":
+        def mod(machine, ps):
+            left, right = fl(machine, ps), fr(machine, ps)
+            if right == 0:
+                raise ESPRuntimeError("division by zero", span)
+            return left - right * int(left / right)
+
+        return mod
+
+    def unknown(machine, ps):
+        raise ESPRuntimeError(f"unknown operator {op}", span)
+
+    return unknown
+
+
+def _compile_index(e: ast.Index, proc: ir.IRProcess, consts: dict):
+    fb, bmode = compile_expr(e.base, proc, consts)
+    fi, _ = compile_expr(e.index, proc, consts)
+    span = e.span
+    if bmode is False:
+        def index_borrowed(machine, ps):
+            base = fb(machine, ps)
+            index = fi(machine, ps)
+            data = machine.heap.get(base).data
+            if not 0 <= index < len(data):
+                raise ESPRuntimeError(
+                    f"array index {index} out of bounds (size {len(data)})", span
+                )
+            return data[index]
+
+        return index_borrowed, False
+    fbp = _pairify(fb, bmode)
+
+    def index_dyn(machine, ps):
+        heap = machine.heap
+        base, base_fresh = fbp(machine, ps)
+        index = fi(machine, ps)
+        data = heap.get(base).data
+        if not 0 <= index < len(data):
+            raise ESPRuntimeError(
+                f"array index {index} out of bounds (size {len(data)})", span
+            )
+        return _read_through(heap, data[index], base, base_fresh)
+
+    return index_dyn, DYNAMIC
+
+
+def _compile_field(e: ast.FieldAccess, proc: ir.IRProcess, consts: dict):
+    fb, bmode = compile_expr(e.base, proc, consts)
+    offset = e.base.type.field_names().index(e.field_name)
+    if bmode is False:
+        def field_borrowed(machine, ps):
+            return machine.heap.get(fb(machine, ps)).data[offset]
+
+        return field_borrowed, False
+    fbp = _pairify(fb, bmode)
+
+    def field_dyn(machine, ps):
+        heap = machine.heap
+        base, base_fresh = fbp(machine, ps)
+        return _read_through(heap, heap.get(base).data[offset], base, base_fresh)
+
+    return field_dyn, DYNAMIC
+
+
+def _read_through(heap, result, base, base_fresh):
+    """Mirror of ``Evaluator._read_through_temp``."""
+    if not base_fresh:
+        return result, False
+    if isinstance(result, Ref):
+        heap.link(result)
+        heap.unlink(base)
+        return result, True
+    heap.unlink(base)
+    return result, False
+
+
+def _compile_alloc(kind, items, mutable, tag, proc, consts):
+    item_fns = [_pairify(*compile_expr(item, proc, consts)) for item in items]
+
+    def alloc(machine, ps):
+        heap = machine.heap
+        data = []
+        for fn in item_fns:
+            value, fresh = fn(machine, ps)
+            if isinstance(value, Ref) and not fresh:
+                heap.link(value)
+            data.append(value)
+        return heap.alloc(kind, data, mutable, tag=tag, owner=ps.pid)
+
+    return alloc
+
+
+def _compile_fill(e: ast.ArrayFill, proc, consts):
+    fc, _ = compile_expr(e.count, proc, consts)
+    ff = _pairify(*compile_expr(e.fill, proc, consts))
+    mutable, span = e.mutable, e.span
+
+    def fill(machine, ps):
+        heap = machine.heap
+        count = fc(machine, ps)
+        if count < 0:
+            raise ESPRuntimeError(f"negative array size {count}", span)
+        value, fresh = ff(machine, ps)
+        if isinstance(value, Ref):
+            links = count - 1 if fresh else count
+            for _ in range(max(links, 0)):
+                heap.link(value)
+            if fresh and count == 0:
+                heap.unlink(value)
+        return heap.alloc("array", [value] * count, mutable, owner=ps.pid)
+
+    return fill
+
+
+def _compile_cast(e: ast.Cast, proc, consts):
+    fo = _pairify(*compile_expr(e.operand, proc, consts))
+    elide = bool(getattr(e, "elide", False))
+
+    def cast(machine, ps):
+        heap = machine.heap
+        value, fresh = fo(machine, ps)
+        obj = heap.get(value)
+        target_mutable = not obj.mutable
+        if elide and not fresh and heap.exclusively_owned(value):
+            heap.set_mutability_deep(value, target_mutable)
+            return value
+        copy = heap.deep_copy(value, mutable=target_mutable, owner=ps.pid)
+        if fresh and isinstance(value, Ref):
+            heap.unlink(value)
+        return copy
+
+    return cast
+
+
+# ---------------------------------------------------------------------------
+# Stores and pattern dispatchers
+# ---------------------------------------------------------------------------
+
+
+def compile_store(target: ast.Expr, proc: ir.IRProcess, consts: dict):
+    """Compile an lvalue to ``fn(machine, ps, value, fresh, extra_link)``
+    mirroring :func:`repro.runtime.interp.store_into`."""
+    if isinstance(target, ast.Var):
+        slot = proc.slot_of[target.unique_name]
+
+        def store_var(machine, ps, value, fresh, extra_link):
+            if extra_link and isinstance(value, Ref):
+                machine.heap.link(value)
+            ps.frame[slot] = value
+
+        return store_var
+    if isinstance(target, ast.Index):
+        fb = _pairify(*compile_expr(target.base, proc, consts))
+        fi, _ = compile_expr(target.index, proc, consts)
+        span = target.span
+
+        def store_index(machine, ps, value, fresh, extra_link):
+            heap = machine.heap
+            base, base_fresh = fb(machine, ps)
+            index = fi(machine, ps)
+            obj = heap.get(base)
+            if not 0 <= index < len(obj.data):
+                raise ESPRuntimeError(
+                    f"array index {index} out of bounds (size {len(obj.data)})",
+                    span,
+                )
+            _store_slot(heap, obj, index, value, fresh, extra_link)
+            if base_fresh and isinstance(base, Ref):
+                heap.unlink(base)
+
+        return store_index
+    if isinstance(target, ast.FieldAccess):
+        fb = _pairify(*compile_expr(target.base, proc, consts))
+        offset = target.base.type.field_names().index(target.field_name)
+
+        def store_field(machine, ps, value, fresh, extra_link):
+            heap = machine.heap
+            base, base_fresh = fb(machine, ps)
+            obj = heap.get(base)
+            _store_slot(heap, obj, offset, value, fresh, extra_link)
+            if base_fresh and isinstance(base, Ref):
+                heap.unlink(base)
+
+        return store_field
+    span = target.span
+
+    def invalid(machine, ps, value, fresh, extra_link):
+        raise ESPRuntimeError("invalid store target", span)
+
+    return invalid
+
+
+def compile_bind(pattern: ast.Pattern, proc: ir.IRProcess, consts: dict):
+    """Compile a pattern to a destructuring dispatcher
+    ``fn(machine, ps, value, link_binders)`` mirroring
+    :func:`repro.runtime.interp.match_local`."""
+    if isinstance(pattern, ast.PBind):
+        slot = proc.slot_of[pattern.unique_name]
+
+        def bind(machine, ps, value, link_binders):
+            if link_binders and isinstance(value, Ref):
+                machine.heap.link(value)
+            ps.frame[slot] = value
+
+        return bind
+    if isinstance(pattern, ast.PEq):
+        if getattr(pattern, "is_store", False):
+            store = compile_store(pattern.expr, proc, consts)
+
+            def bind_store(machine, ps, value, link_binders):
+                store(machine, ps, value, False, link_binders)
+
+            return bind_store
+        fe = _valuify(*compile_expr(pattern.expr, proc, consts))
+        span = pattern.span
+
+        def bind_eq(machine, ps, value, link_binders):
+            expected = fe(machine, ps)
+            if expected != value:
+                raise ESPRuntimeError(
+                    f"pattern match failed: expected {expected}, got {value}",
+                    span,
+                )
+
+        return bind_eq
+    if isinstance(pattern, ast.PRecord):
+        subs = [compile_bind(item, proc, consts) for item in pattern.items]
+        arity, span = len(subs), pattern.span
+
+        def bind_record(machine, ps, value, link_binders):
+            data = machine.heap.get(value).data
+            if len(data) != arity:
+                raise ESPRuntimeError("record arity mismatch in pattern", span)
+            for sub, component in zip(subs, data):
+                sub(machine, ps, component, link_binders)
+
+        return bind_record
+    if isinstance(pattern, ast.PUnion):
+        sub = compile_bind(pattern.value, proc, consts)
+        tag, span = pattern.tag, pattern.span
+
+        def bind_union(machine, ps, value, link_binders):
+            obj = machine.heap.get(value)
+            if obj.tag != tag:
+                raise ESPRuntimeError(
+                    f"pattern match failed: union tag is '{obj.tag}', "
+                    f"pattern wants '{tag}'",
+                    span,
+                )
+            sub(machine, ps, obj.data[0], link_binders)
+
+        return bind_union
+    kind, span = type(pattern).__name__, pattern.span
+
+    def unhandled(machine, ps, value, link_binders):
+        raise ESPRuntimeError(f"unhandled pattern {kind}", span)
+
+    return unhandled
+
+
+def compile_test(pattern: ast.Pattern, proc: ir.IRProcess, consts: dict):
+    """Compile a pattern to a non-destructive matcher
+    ``fn(machine, ps, value) -> bool`` mirroring
+    :func:`repro.runtime.interp.try_match`."""
+    if isinstance(pattern, ast.PBind):
+        return lambda machine, ps, value: True
+    if isinstance(pattern, ast.PEq):
+        if getattr(pattern, "is_store", False):
+            return lambda machine, ps, value: True
+        fe = _valuify(*compile_expr(pattern.expr, proc, consts))
+        return lambda machine, ps, value: fe(machine, ps) == value
+    if isinstance(pattern, ast.PRecord):
+        subs = [compile_test(item, proc, consts) for item in pattern.items]
+        arity = len(subs)
+
+        def test_record(machine, ps, value):
+            data = machine.heap.get(value).data
+            if len(data) != arity:
+                return False
+            return all(sub(machine, ps, component)
+                       for sub, component in zip(subs, data))
+
+        return test_record
+    if isinstance(pattern, ast.PUnion):
+        sub = compile_test(pattern.value, proc, consts)
+        tag = pattern.tag
+
+        def test_union(machine, ps, value):
+            obj = machine.heap.get(value)
+            if obj.tag != tag:
+                return False
+            return sub(machine, ps, obj.data[0])
+
+        return test_union
+    return lambda machine, ps, value: False
+
+
+def compile_test_components(pattern: ast.Pattern, proc: ir.IRProcess,
+                            consts: dict):
+    """Fused-send variant of :func:`compile_test`
+    (cf. :func:`repro.runtime.interp.try_match_components`): the record
+    wrapper is never allocated, so the components match item-wise."""
+    if not isinstance(pattern, ast.PRecord):
+        return lambda machine, ps, values: False
+    subs = [compile_test(item, proc, consts) for item in pattern.items]
+    arity = len(subs)
+
+    def test_components(machine, ps, values):
+        if len(values) != arity:
+            return False
+        return all(sub(machine, ps, component)
+                   for sub, component in zip(subs, values))
+
+    return test_components
+
+
+def compile_payload(arm: ir.AltArm, proc: ir.IRProcess, consts: dict):
+    """Postponed alt out-arm payload evaluator:
+    ``fn(machine, ps) -> (values, fresh, fused)``."""
+    if arm.fused:
+        item_fns = [_pairify(*compile_expr(item, proc, consts))
+                    for item in arm.expr.items]
+
+        def payload_fused(machine, ps):
+            values, fresh = [], []
+            for fn in item_fns:
+                value, f = fn(machine, ps)
+                values.append(value)
+                fresh.append(f)
+            return values, fresh, True
+
+        return payload_fused
+    fe = _pairify(*compile_expr(arm.expr, proc, consts))
+
+    def payload(machine, ps):
+        value, fresh = fe(machine, ps)
+        return [value], [fresh], False
+
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Instruction handlers
+# ---------------------------------------------------------------------------
+
+
+def _compile_instr(instr: ir.Instr, index: int, proc: ir.IRProcess,
+                   consts: dict):
+    nxt = index + 1
+    if isinstance(instr, ir.Decl):
+        fe = _valuify(*compile_expr(instr.expr, proc, consts))
+        slot = proc.slot_of[instr.var]
+
+        def decl(machine, ps):
+            ps.frame[slot] = fe(machine, ps)
+            return nxt
+
+        return decl
+    if isinstance(instr, ir.Assign):
+        if isinstance(instr.target, ast.Var):
+            # Plain rebinding ignores freshness (alias/move semantics).
+            fe = _valuify(*compile_expr(instr.expr, proc, consts))
+            slot = proc.slot_of[instr.target.unique_name]
+
+            def assign_var(machine, ps):
+                ps.frame[slot] = fe(machine, ps)
+                return nxt
+
+            return assign_var
+        fe = _pairify(*compile_expr(instr.expr, proc, consts))
+        store = compile_store(instr.target, proc, consts)
+
+        def assign(machine, ps):
+            value, fresh = fe(machine, ps)
+            store(machine, ps, value, fresh, False)
+            return nxt
+
+        return assign
+    if isinstance(instr, ir.Match):
+        fe = _pairify(*compile_expr(instr.expr, proc, consts))
+        bind = compile_bind(instr.pattern, proc, consts)
+
+        def match(machine, ps):
+            value, fresh = fe(machine, ps)
+            bind(machine, ps, value, fresh)
+            if fresh and isinstance(value, Ref):
+                machine.heap.unlink(value)
+            return nxt
+
+        return match
+    if isinstance(instr, ir.Jump):
+        target = instr.target
+        return lambda machine, ps: target
+    if isinstance(instr, ir.Branch):
+        fc, _ = compile_expr(instr.cond, proc, consts)
+        true_target, false_target = instr.true_target, instr.false_target
+
+        def branch(machine, ps):
+            return true_target if fc(machine, ps) else false_target
+
+        return branch
+    if isinstance(instr, ir.In):
+        channel, pattern = instr.channel, instr.pattern
+        port_index = instr.port_index
+        mask = proc.wait_mask_for([channel])
+
+        def block_in(machine, ps):
+            ps.pc = index
+            ps.status = Status.BLOCKED
+            ps.block = BlockInfo(kind="in", channel=channel, pattern=pattern,
+                                 port_index=port_index)
+            ps.wait_mask = mask
+            return BLOCKED
+
+        return block_in
+    if isinstance(instr, ir.Out):
+        channel, fused = instr.channel, instr.fused
+        mask = proc.wait_mask_for([channel])
+        if fused:
+            item_fns = [_pairify(*compile_expr(item, proc, consts))
+                        for item in instr.expr.items]
+
+            def block_out_fused(machine, ps):
+                values, fresh = [], []
+                for fn in item_fns:
+                    value, f = fn(machine, ps)
+                    values.append(value)
+                    fresh.append(f)
+                ps.pc = index
+                ps.status = Status.BLOCKED
+                ps.block = BlockInfo(kind="out", channel=channel,
+                                     values=values, fresh=fresh, fused=True)
+                ps.wait_mask = mask
+                return BLOCKED
+
+            return block_out_fused
+        fe = _pairify(*compile_expr(instr.expr, proc, consts))
+
+        def block_out(machine, ps):
+            value, f = fe(machine, ps)
+            ps.pc = index
+            ps.status = Status.BLOCKED
+            ps.block = BlockInfo(kind="out", channel=channel,
+                                 values=[value], fresh=[f], fused=False)
+            ps.wait_mask = mask
+            return BLOCKED
+
+        return block_out
+    if isinstance(instr, ir.Alt):
+        arm_plans = []
+        for arm_index, arm in enumerate(instr.arms):
+            guard_fn = (compile_expr(arm.guard, proc, consts)[0]
+                        if arm.guard is not None else None)
+            arm_plans.append((guard_fn, EnabledArm(arm=arm, index=arm_index),
+                              proc.wait_mask_for([arm.channel])))
+        span = instr.span
+
+        def block_alt(machine, ps):
+            machine.counters.alt_blocks += 1
+            arms = []
+            mask = 0
+            for guard_fn, enabled, arm_mask in arm_plans:
+                if guard_fn is not None and not guard_fn(machine, ps):
+                    continue
+                arms.append(enabled)
+                mask |= arm_mask
+            if not arms:
+                raise ESPRuntimeError(
+                    "alt blocked with every guard false (permanent deadlock)",
+                    span,
+                )
+            ps.pc = index
+            ps.status = Status.BLOCKED
+            ps.block = BlockInfo(kind="alt", arms=arms)
+            ps.wait_mask = mask
+            return BLOCKED
+
+        return block_alt
+    if isinstance(instr, ir.Link):
+        fe = _pairify(*compile_expr(instr.expr, proc, consts))
+
+        def link(machine, ps):
+            heap = machine.heap
+            value, fresh = fe(machine, ps)
+            heap.link(value)
+            if fresh and isinstance(value, Ref):
+                heap.unlink(value)
+            return nxt
+
+        return link
+    if isinstance(instr, ir.Unlink):
+        fe = _valuify(*compile_expr(instr.expr, proc, consts))
+
+        def unlink(machine, ps):
+            machine.heap.unlink(fe(machine, ps))
+            return nxt
+
+        return unlink
+    if isinstance(instr, ir.Assert):
+        fc, _ = compile_expr(instr.cond, proc, consts)
+        message = f"assertion failed in process '{proc.name}'"
+        span = instr.span
+
+        def check(machine, ps):
+            if not fc(machine, ps):
+                raise AssertionFailure(message, span)
+            return nxt
+
+        return check
+    if isinstance(instr, ir.Print):
+        arg_fns = [_pairify(*compile_expr(arg, proc, consts))
+                   for arg in instr.args]
+
+        def emit(machine, ps):
+            heap = machine.heap
+            values = []
+            for fn in arg_fns:
+                value, fresh = fn(machine, ps)
+                values.append(heap.to_python(value))
+                if fresh and isinstance(value, Ref):
+                    heap.unlink(value)
+            machine.counters.prints += 1
+            machine.on_print(ps, values)
+            return nxt
+
+        return emit
+    if isinstance(instr, ir.Nop):
+        return lambda machine, ps: nxt
+    if isinstance(instr, ir.Halt):
+        def halt(machine, ps):
+            ps.pc = index
+            ps.status = Status.DONE
+            ps.block = None
+            ps.wait_mask = 0
+            return BLOCKED
+
+        return halt
+    kind, span = type(instr).__name__, instr.span
+
+    def unhandled(machine, ps):
+        raise ESPRuntimeError(f"unhandled instruction {kind}", span)
+
+    return unhandled
+
+
+def compile_handlers(proc: ir.IRProcess, consts: dict) -> list:
+    """The handler table for one process: ``handlers[pc]`` executes
+    ``proc.instrs[pc]`` and returns the next PC (or :data:`BLOCKED`)."""
+    if not proc.slots_resolved:
+        resolve_process_slots(proc)
+    return [_compile_instr(instr, index, proc, consts)
+            for index, instr in enumerate(proc.instrs)]
+
+
+def handlers_for(proc: ir.IRProcess, consts: dict) -> list:
+    """Cached :func:`compile_handlers` (one table per process object)."""
+    handlers = getattr(proc, "_compiled_handlers", None)
+    if handlers is None:
+        handlers = compile_handlers(proc, consts)
+        proc._compiled_handlers = handlers
+    return handlers
+
+
+# ---------------------------------------------------------------------------
+# The driver loop
+# ---------------------------------------------------------------------------
+
+
+def run_until_block_compiled(machine, ps) -> None:
+    """Drop-in replacement for
+    :func:`repro.runtime.interp.run_until_block` driving the compiled
+    handler table.  The PC lives in a local; ``ps.pc`` is written only
+    at a blocking point (a PC-only context switch, §6.1) or when an
+    error propagates (so violation replays see the faulting PC)."""
+    handlers = getattr(ps.proc, "_compiled_handlers", None)
+    if handlers is None:
+        handlers = handlers_for(ps.proc, machine.program.consts)
+    counters = machine.counters
+    ps.version += 1  # dirty for copy-on-write snapshots
+    machine._dirty_procs.add(ps)
+    n = len(handlers)
+    pc = ps.pc
+    count = 0
+    # Instruction/step counts accumulate in a local and flush when the
+    # stretch ends (including on an exception, where the faulting
+    # instruction counts and ``ps.pc`` must point at it — exactly the
+    # AST walker's bookkeeping).
+    try:
+        while pc < n:
+            count += 1
+            target = handlers[pc](machine, ps)
+            if target < 0:
+                return
+            pc = target
+        ps.pc = pc
+        ps.status = Status.DONE
+    except BaseException:
+        ps.pc = pc
+        raise
+    finally:
+        counters.instructions += count
+        ps.steps += count

@@ -38,8 +38,9 @@ from repro.errors import AssertionFailure, ESPRuntimeError
 from repro.lang import ast
 from repro.lang.typecheck import _fold_binary
 from repro.ir import nodes as ir
+from repro.ir.slots import resolve_process_slots
 from repro.runtime.heap import Heap
-from repro.runtime.values import Ref, Value
+from repro.runtime.values import Ref, UNSET, Value
 
 
 class Status(enum.Enum):
@@ -101,15 +102,17 @@ class ProcessState:
     stands still.  See :meth:`repro.runtime.machine.Machine.snapshot`.
     """
 
-    __slots__ = ("proc", "pid", "pc", "locals", "status", "block", "wait_mask",
+    __slots__ = ("proc", "pid", "pc", "frame", "status", "block", "wait_mask",
                  "steps", "version", "_record", "_record_version", "_canon",
                  "_canon_pending")
 
     def __init__(self, proc: ir.IRProcess):
+        if not proc.slots_resolved:
+            resolve_process_slots(proc)
         self.proc = proc
         self.pid = proc.pid
         self.pc = 0
-        self.locals: dict[str, Value] = {}
+        self.frame: list[Value] = [UNSET] * proc.nslots
         self.status = Status.READY
         self.block: BlockInfo | None = None
         self.wait_mask = 0
@@ -144,12 +147,13 @@ class Evaluator:
         if isinstance(e, ast.Var):
             unique = getattr(e, "unique_name", None)
             if unique is not None:
-                try:
-                    return ps.locals[unique], False
-                except KeyError:
+                slot = ps.proc.slot_of.get(unique, -1)
+                value = ps.frame[slot] if slot >= 0 else UNSET
+                if value is UNSET:
                     raise ESPRuntimeError(
                         f"variable '{e.name}' read before initialisation", e.span
                     )
+                return value, False
             if e.name in self.consts:
                 return self.consts[e.name], False
             raise ESPRuntimeError(f"unbound variable '{e.name}'", e.span)
@@ -293,7 +297,7 @@ def match_local(evaluator: Evaluator, ps: ProcessState, pattern: ast.Pattern,
     if isinstance(pattern, ast.PBind):
         if link_binders and isinstance(value, Ref):
             heap.link(value)
-        ps.locals[pattern.unique_name] = value
+        ps.frame[ps.proc.slot_of[pattern.unique_name]] = value
         return
     if isinstance(pattern, ast.PEq):
         if getattr(pattern, "is_store", False):
@@ -381,7 +385,7 @@ def store_into(evaluator: Evaluator, ps: ProcessState, target: ast.Expr,
     if isinstance(target, ast.Var):
         if extra_link and isinstance(value, Ref):
             heap.link(value)
-        ps.locals[target.unique_name] = value
+        ps.frame[ps.proc.slot_of[target.unique_name]] = value
         return
     if isinstance(target, ast.Index):
         base, base_fresh = evaluator.eval(target.base, ps)
@@ -439,7 +443,7 @@ def run_until_block(machine, ps: ProcessState) -> None:
         ps.steps += 1
         if isinstance(instr, ir.Decl):
             value, _fresh = evaluator.eval(instr.expr, ps)
-            ps.locals[instr.var] = value
+            ps.frame[ps.proc.slot_of[instr.var]] = value
         elif isinstance(instr, ir.Assign):
             value, fresh = evaluator.eval(instr.expr, ps)
             store_into(evaluator, ps, instr.target, value, fresh)

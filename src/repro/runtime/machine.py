@@ -17,6 +17,7 @@ them, using :meth:`snapshot`/:meth:`restore`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.errors import ESPRuntimeError
@@ -24,6 +25,13 @@ from repro.lang import ast
 from repro.lang.patterns import Eq, EqUnknown, Rec, Shape, Uni, Wild
 from repro.lang.types import ArrayType, RecordType, Type, UnionType
 from repro.ir import nodes as ir
+from repro.runtime.compile import (
+    compile_bind,
+    compile_payload,
+    compile_test,
+    compile_test_components,
+    run_until_block_compiled,
+)
 from repro.runtime.external import ExternalReader, ExternalWriter
 from repro.runtime.heap import Heap
 from repro.runtime.interp import (
@@ -37,7 +45,7 @@ from repro.runtime.interp import (
     try_match,
     try_match_components,
 )
-from repro.runtime.values import Ref, Value
+from repro.runtime.values import Ref, UNSET, Value
 
 
 # ---------------------------------------------------------------------------
@@ -122,6 +130,22 @@ def _pid_of(ps: ProcessState) -> int:
     return ps.pid
 
 
+#: Valid execution engines: the closure-compiled handler tables
+#: (default, :mod:`repro.runtime.compile`) and the AST-walking
+#: reference oracle (:mod:`repro.runtime.interp`).
+ENGINES = ("compiled", "ast")
+
+
+def _resolve_engine(engine: str | None) -> str:
+    if engine is None:
+        engine = os.environ.get("ESP_ENGINE") or ENGINES[0]
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
 class Machine:
     """One instantiated ESP program (see module docstring)."""
 
@@ -131,11 +155,15 @@ class Machine:
         externals: dict[str, ExternalWriter | ExternalReader] | None = None,
         max_objects: int | None = None,
         print_handler=None,
+        engine: str | None = None,
     ):
         self.program = program
         self.externals = dict(externals or {})
         self.max_objects = max_objects
         self.print_handler = print_handler
+        self.engine = _resolve_engine(engine)
+        self._stepper = (run_until_block if self.engine == "ast"
+                         else run_until_block_compiled)
         self._externals_validated = False
         self.reset()
 
@@ -198,10 +226,11 @@ class Machine:
         if not ready:
             return 0
         ran = 0
+        stepper = self._stepper
         for ps in sorted(ready, key=_pid_of):
             ready.discard(ps)
             self.counters.context_switches += 1
-            run_until_block(self, ps)
+            stepper(self, ps)
             if ps.status is Status.BLOCKED and ps.block.kind == "out":
                 self._check_out_matchable(ps)
             ran += 1
@@ -335,9 +364,41 @@ class Machine:
         pattern = self._receiver_pattern(r_pid, r_arm)
         receiver = self.processes[r_pid]
         self.counters.matches += 1
+        if self.engine == "compiled":
+            if fused:
+                return self._ctest_components(pattern, receiver)(
+                    self, receiver, values
+                )
+            return self._ctest(pattern, receiver)(self, receiver, values[0])
         if fused:
             return try_match_components(self.evaluator, receiver, pattern, values)
         return try_match(self.evaluator, receiver, pattern, values[0])
+
+    # -- precompiled pattern dispatchers (compiled engine) -----------------------
+
+    def _ctest(self, pattern: ast.Pattern, receiver: ProcessState):
+        """Cached compiled matcher for a receiver-owned pattern (each
+        pattern node belongs to exactly one process's instrs)."""
+        fn = getattr(pattern, "_ctest_fn", None)
+        if fn is None:
+            fn = compile_test(pattern, receiver.proc, self.program.consts)
+            pattern._ctest_fn = fn
+        return fn
+
+    def _ctest_components(self, pattern: ast.Pattern, receiver: ProcessState):
+        fn = getattr(pattern, "_ctestc_fn", None)
+        if fn is None:
+            fn = compile_test_components(pattern, receiver.proc,
+                                         self.program.consts)
+            pattern._ctestc_fn = fn
+        return fn
+
+    def _cbind(self, pattern: ast.Pattern, receiver: ProcessState):
+        fn = getattr(pattern, "_cbind_fn", None)
+        if fn is None:
+            fn = compile_bind(pattern, receiver.proc, self.program.consts)
+            pattern._cbind_fn = fn
+        return fn
 
     def _entry_reaches(self, pattern: ast.Pattern, args: tuple, r_pid: int,
                        r_arm: int | None) -> bool:
@@ -452,11 +513,18 @@ class Machine:
         receiver = self.processes[move.receiver_pid]
         values, fresh, fused = self._take_sender_payload(sender, move.sender_arm)
         pattern = self._receiver_pattern(move.receiver_pid, move.receiver_arm)
-        ok = (
-            try_match_components(self.evaluator, receiver, pattern, values)
-            if fused
-            else try_match(self.evaluator, receiver, pattern, values[0])
-        )
+        if self.engine == "compiled":
+            ok = (
+                self._ctest_components(pattern, receiver)(self, receiver, values)
+                if fused
+                else self._ctest(pattern, receiver)(self, receiver, values[0])
+            )
+        else:
+            ok = (
+                try_match_components(self.evaluator, receiver, pattern, values)
+                if fused
+                else try_match(self.evaluator, receiver, pattern, values[0])
+            )
         if not ok:
             raise ESPRuntimeError(
                 f"message from '{sender.proc.name}' does not match the waiting "
@@ -473,6 +541,12 @@ class Machine:
         # Postponed evaluation of an alt out-arm (§6.1).
         instr = sender.proc.instrs[sender.pc]
         arm = instr.arms[s_arm]
+        if self.engine == "compiled":
+            fn = getattr(arm, "_cpayload_fn", None)
+            if fn is None:
+                fn = compile_payload(arm, sender.proc, self.program.consts)
+                arm._cpayload_fn = fn
+            return fn(self, sender)
         if arm.fused:
             values, fresh = [], []
             for item in arm.expr.items:
@@ -488,14 +562,21 @@ class Machine:
         receiver.version += 1  # dirty for copy-on-write snapshots
         self._dirty_procs.add(receiver)
         heap = self.heap
+        compiled = self.engine == "compiled"
         if not fused:
             value, f = values[0], fresh[0]
+            bind = (self._cbind(pattern, receiver) if compiled else None)
             if isinstance(value, Ref):
                 if not f:
                     heap.link(value)  # the pointer-send "copy" (§6.1)
-                match_local(self.evaluator, receiver, pattern, value,
-                            link_binders=True)
+                if compiled:
+                    bind(self, receiver, value, True)
+                else:
+                    match_local(self.evaluator, receiver, pattern, value,
+                                link_binders=True)
                 heap.unlink(value)
+            elif compiled:
+                bind(self, receiver, value, False)
             else:
                 match_local(self.evaluator, receiver, pattern, value,
                             link_binders=False)
@@ -510,7 +591,7 @@ class Machine:
         if isinstance(item, ast.PBind):
             if isinstance(value, Ref) and not fresh:
                 heap.link(value)
-            receiver.locals[item.unique_name] = value
+            receiver.frame[receiver.proc.slot_of[item.unique_name]] = value
             return
         if isinstance(item, ast.PEq):
             if getattr(item, "is_store", False):
@@ -523,7 +604,10 @@ class Machine:
                 raise ESPRuntimeError("fused delivery equality mismatch", item.span)
             return
         # Nested destructure of an aggregate component.
-        match_local(self.evaluator, receiver, item, value, link_binders=True)
+        if self.engine == "compiled":
+            self._cbind(item, receiver)(self, receiver, value, True)
+        else:
+            match_local(self.evaluator, receiver, item, value, link_binders=True)
         if fresh and isinstance(value, Ref):
             heap.unlink(value)
 
@@ -668,6 +752,28 @@ class Machine:
     def blocked_processes(self) -> list[ProcessState]:
         return [ps for ps in self.processes if ps.status is Status.BLOCKED]
 
+    def blocked_summary(self) -> str:
+        """Human-readable list of blocked processes with the source
+        location each is stuck at — for an ``alt``, the locations of
+        the arms whose guards held (the cases the process is actually
+        waiting on), not just the statement as a whole."""
+        parts = []
+        for ps in self.blocked_processes():
+            location = None
+            block = ps.block
+            if block is not None and block.kind == "alt":
+                spans = {str(e.arm.span) for e in block.arms
+                         if e.arm.span is not None}
+                if spans:
+                    location = ", ".join(sorted(spans))
+            if location is None and ps.pc < len(ps.proc.instrs):
+                span = ps.proc.instrs[ps.pc].span
+                if span is not None:
+                    location = str(span)
+            parts.append(f"{ps.proc.name} at {location}" if location
+                         else ps.proc.name)
+        return ", ".join(parts)
+
     # -- snapshot / restore ------------------------------------------------------------
 
     def snapshot(self):
@@ -711,7 +817,7 @@ class Machine:
                     b.fused,
                     tuple(e.index for e in b.arms),
                 )
-            ps._record = (ps.pc, dict(ps.locals), ps.status, block,
+            ps._record = (ps.pc, tuple(ps.frame), ps.status, block,
                           ps.wait_mask)
             ps._record_version = ps.version
             # Promote a canonical encoding computed since the last
@@ -760,9 +866,9 @@ class Machine:
             counters.proc_restores_skipped += 1
             return
         counters.proc_restores += 1
-        pc, locals_, status, block, wait_mask = rec
+        pc, frame, status, block, wait_mask = rec
         ps.pc = pc
-        ps.locals = dict(locals_)
+        ps.frame = list(frame)
         ps.status = status
         if status is Status.READY:
             self._ready.add(ps)
@@ -791,7 +897,8 @@ class Machine:
         enc = _encode_value
         procs, heap_objs, next_oid, retired, ext = self.snapshot()
         pprocs = []
-        for pc, locals_, status, block, wait_mask in procs:
+        for ps, (pc, frame, status, block, wait_mask) in zip(self.processes,
+                                                             procs):
             if block is not None:
                 kind, channel, port_index, values, fresh, fused, arms = block
                 block = (
@@ -801,7 +908,9 @@ class Machine:
                 )
             pprocs.append((
                 pc,
-                tuple((name, enc(v)) for name, v in sorted(locals_.items())),
+                tuple((name, enc(frame[slot]))
+                      for name, slot in ps.proc.canon_order
+                      if frame[slot] is not UNSET),
                 status.value, block, wait_mask,
             ))
         pheap = tuple(
@@ -818,7 +927,8 @@ class Machine:
         dec = _decode_value
         pprocs, pheap, next_oid, retired, pext = state
         procs = []
-        for pc, locals_, status_value, block, wait_mask in pprocs:
+        for ps, (pc, locals_, status_value, block, wait_mask) in zip(
+                self.processes, pprocs):
             if block is not None:
                 kind, channel, port_index, values, fresh, fused, arms = block
                 block = (
@@ -826,7 +936,11 @@ class Machine:
                     tuple(dec(v) for v in values) if values is not None else None,
                     fresh, fused, arms,
                 )
-            procs.append((pc, {name: dec(v) for name, v in locals_},
+            frame = [UNSET] * ps.proc.nslots
+            slot_of = ps.proc.slot_of
+            for name, v in locals_:
+                frame[slot_of[name]] = dec(v)
+            procs.append((pc, tuple(frame),
                           Status(status_value), block, wait_mask))
         heap_objs = {
             oid: (kind, tag, mutable, refcount, live,

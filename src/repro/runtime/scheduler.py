@@ -3,7 +3,11 @@
 The generated firmware's structure, reproduced in Python: an idle loop
 polls external channels; when a message is available and a process is
 waiting, the process is restarted by jumping to its saved location (we
-restore a PC — processes need no stack).  Processes execute
+restore a PC — processes need no stack).  Under the default compiled
+engine that jump is an index into the process's dispatch table of
+closure handlers, so a context switch costs one integer store and one
+table lookup, mirroring the ``goto``-threaded C the paper's backend
+emits (see docs/ENGINE.md).  Processes execute
 non-preemptively until they block; when a blocked pair can rendezvous,
 one is picked (the channel-selection policy need not be fair but must
 prevent starvation) and the transfer completes.

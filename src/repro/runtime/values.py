@@ -25,6 +25,28 @@ class Ref:
 Value = int | bool | Ref
 
 
+class _UnsetType:
+    """Sentinel filling frame slots whose local is not bound yet.
+
+    State encodings skip unset slots, so a frame with holes encodes
+    exactly like the historical dict that simply omitted the name.
+    """
+
+    __slots__ = ()
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<unset>"
+
+
+UNSET = _UnsetType()
+
+
 def is_ref(v: Value) -> bool:
     return isinstance(v, Ref)
 

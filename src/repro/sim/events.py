@@ -70,6 +70,14 @@ class Simulator:
                 self.now = until_us
                 return predicate()
             if not self.step():
+                # Queue drained before the deadline: advance the clock
+                # to the horizon (exactly as :meth:`run` does) *before*
+                # the final predicate check, so a time-dependent
+                # watchdog fires on this call rather than one event
+                # late — and callers deriving follow-up deadlines from
+                # ``now`` don't start from a stale clock.
+                if until_us is not None and until_us > self.now:
+                    self.now = until_us
                 return predicate()
         raise RuntimeError(f"simulation exceeded {max_events} events")
 

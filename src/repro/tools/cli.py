@@ -24,6 +24,7 @@ duplicated, or reordered.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.lang.source import SourceFile
@@ -33,7 +34,7 @@ from repro.backends.c import generate_c
 from repro.backends.spin import generate_promela
 from repro.errors import ESPError
 from repro.lang.program import frontend
-from repro.runtime.machine import Machine
+from repro.runtime.machine import ENGINES, Machine
 from repro.runtime.scheduler import Scheduler
 from repro.verify.environment import default_verification_bridges
 from repro.verify.explorer import Explorer
@@ -83,9 +84,23 @@ def cmd_emit_spin(args) -> int:
     return 0
 
 
+def _select_engine(args) -> None:
+    """Make ``--engine`` reach every Machine the command constructs.
+
+    Some commands build machines deep inside library code (the sim
+    firmware, the per-process memory-safety harness); rather than
+    thread a parameter through each layer, the flag is exported as
+    ``ESP_ENGINE``, which ``Machine`` consults when no explicit engine
+    is passed — and which forked verifier workers inherit.
+    """
+    if getattr(args, "engine", None):
+        os.environ["ESP_ENGINE"] = args.engine
+
+
 def cmd_run(args) -> int:
+    _select_engine(args)
     program, _stats, _front = compile_source_with_stats(_read(args.file), args.file)
-    machine = Machine(program, print_handler=lambda name, values: print(
+    machine = Machine(program, engine=args.engine, print_handler=lambda name, values: print(
         f"{name}:", *values
     ))
     result = Scheduler(machine, policy=args.policy).run(
@@ -97,6 +112,7 @@ def cmd_run(args) -> int:
 
 
 def cmd_verify(args) -> int:
+    _select_engine(args)
     if args.process:
         report = verify_process(_read(args.file), args.process,
                                 max_states=args.max_states, jobs=args.jobs)
@@ -109,7 +125,8 @@ def cmd_verify(args) -> int:
             _read(args.file), args.file
         )
         machine = Machine(
-            program, externals=default_verification_bridges(program)
+            program, externals=default_verification_bridges(program),
+            engine=args.engine,
         )
         if args.jobs is None:
             explorer = Explorer(machine, max_states=args.max_states)
@@ -158,6 +175,7 @@ def cmd_sim(args) -> int:
     from repro.sim.faults import FaultPlan
     from repro.vmmc.retransmission import run_over_faulty_link
 
+    _select_engine(args)
     plan = None
     if args.faults:
         try:
@@ -218,6 +236,16 @@ def _write_out(path: str | None, text: str) -> None:
         sys.stdout.write(text)
 
 
+def _add_engine_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="execution engine: 'compiled' lowers each process to a "
+             "table of closures (default); 'ast' walks the instruction "
+             "tree directly and serves as the reference semantics "
+             "(see docs/ENGINE.md)",
+    )
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -249,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--max-transfers", type=int, default=100_000)
     p.add_argument("--policy", choices=("stack", "fifo", "random"), default="stack")
+    _add_engine_flag(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("verify", help="model-check the program")
@@ -270,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-json", action="store_true",
         help="like --stats, but as one JSON object on stdout",
     )
+    _add_engine_flag(p)
     p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser(
@@ -298,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats-json", action="store_true",
                    help="print the full run report as one JSON object "
                         "(byte-identical for identical plans)")
+    _add_engine_flag(p)
     p.set_defaults(fn=cmd_sim)
 
     p = sub.add_parser("stats", help="optimizer statistics")

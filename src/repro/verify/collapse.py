@@ -40,7 +40,7 @@ from array import array
 from hashlib import blake2b
 
 from repro.runtime.machine import Machine, _pid_of
-from repro.runtime.values import Ref
+from repro.runtime.values import Ref, UNSET
 from repro.verify.state import canonical_state, pack_state
 
 _U32 = struct.Struct("<I")
@@ -214,9 +214,11 @@ class MachineCollapseStore:
                 )
                 block = (b.kind, b.channel, b.port_index, b.fused, values,
                          tuple(e.index for e in b.arms))
+            frame = ps.frame
             locals_ = tuple(
-                (name, visit(value))
-                for name, value in sorted(ps.locals.items())
+                (name, visit(frame[slot]))
+                for name, slot in ps.proc.canon_order
+                if frame[slot] is not UNSET
             )
             entry = (ps.pc, ps.status.value, locals_, block)
             index = procs_table.intern(entry, sizes)

@@ -139,7 +139,7 @@ def replay_violation(
                              len(violation.trace))
     if (not machine.enabled_moves() and machine.blocked_processes()
             and not (quiescence_ok and is_quiescent(machine))):
-        names = ", ".join(ps.proc.name for ps in machine.blocked_processes())
+        names = machine.blocked_summary()
         return Violation("deadlock", f"no enabled move; blocked: {names}",
                          list(violation.trace), len(violation.trace))
     raise ReplayError("trace replayed without reproducing a violation")

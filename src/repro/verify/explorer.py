@@ -184,7 +184,7 @@ class Explorer:
             return  # all done: normal termination
         if self.quiescence_ok and is_quiescent(machine):
             return
-        names = ", ".join(ps.proc.name for ps in machine.blocked_processes())
+        names = machine.blocked_summary()
         pendings.append(
             ("deadlock", f"no enabled move; blocked: {names}", depth, path)
         )

@@ -99,7 +99,7 @@ def _expand_state(machine: Machine, invariants, cfg: _Config, keyer, codec,
         if cfg.check_deadlock:
             blocked = machine.blocked_processes()
             if blocked and not (cfg.quiescence_ok and is_quiescent(machine)):
-                names = ", ".join(ps.proc.name for ps in blocked)
+                names = machine.blocked_summary()
                 pendings.append(
                     ("deadlock", f"no enabled move; blocked: {names}",
                      depth, path)

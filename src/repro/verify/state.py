@@ -23,7 +23,7 @@ import pickle
 
 from repro.runtime.interp import Status
 from repro.runtime.machine import Machine
-from repro.runtime.values import Ref
+from repro.runtime.values import Ref, UNSET
 
 
 def canonical_state(machine) -> tuple:
@@ -83,8 +83,11 @@ def canonical_state(machine) -> tuple:
             )
             block = (b.kind, b.channel, b.port_index, b.fused, values,
                      tuple(e.index for e in b.arms))
+        frame = ps.frame
         locals_ = tuple(
-            (name, visit(value)) for name, value in sorted(ps.locals.items())
+            (name, visit(frame[slot]))
+            for name, slot in ps.proc.canon_order
+            if frame[slot] is not UNSET
         )
         entry = (ps.pc, ps.status.value, locals_, block)
         if not has_ref:

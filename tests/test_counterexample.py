@@ -158,3 +158,69 @@ def test_replay_violation_rejects_clean_trace():
                         found.violations[0].trace[:1], 1)
     with pytest.raises(ReplayError):
         replay_violation(Machine(compile_source(ASSERT_FAIL)), partial)
+
+
+# A consumer that deadlocks *inside an alt*: after draining the one
+# message, both arms wait on channels nobody will ever send on.
+ALT_DEADLOCK = """\
+channel a: int
+channel b: int
+
+process prod {
+    out( a, 1);
+}
+
+process cons {
+    in( a, $x);
+    alt {
+        case( in( a, $y)) { skip; }
+        case( in( b, $z)) { skip; }
+    }
+}
+"""
+
+
+def test_deadlock_report_points_at_alt_arms():
+    # The deadlock message must carry the source coordinates of the
+    # alt *arms* the process is waiting on (ir.AltArm.span), not just
+    # the process name — and replay must reproduce the same rendering.
+    found = Explorer(Machine(compile_source(ALT_DEADLOCK, "alt_dead.esp")),
+                     quiescence_ok=False).explore()
+    assert not found.ok
+    original = found.violations[0]
+    assert original.kind == "deadlock"
+    # case( in( a, ...)) is on line 11, case( in( b, ...)) on line 12.
+    assert "cons at alt_dead.esp:11" in original.message
+    assert "alt_dead.esp:12" in original.message
+    replayed = replay_violation(
+        Machine(compile_source(ALT_DEADLOCK, "alt_dead.esp")), original,
+        quiescence_ok=False)
+    assert replayed.message == original.message
+    text = format_trace(replayed)
+    assert "alt_dead.esp:11" in text
+
+
+def test_deadlock_report_points_at_blocking_in():
+    # A plain ``in`` block reports the instruction's own span.
+    source = "channel a: int\n\nprocess lone {\n    in( a, $x);\n}\n"
+    found = Explorer(Machine(compile_source(source, "lone.esp")),
+                     quiescence_ok=False).explore()
+    assert not found.ok
+    assert "lone at lone.esp:4" in found.violations[0].message
+
+
+def test_cloned_alt_arms_keep_spans():
+    # clone_tree shares spans; IR lowered from a clone must still carry
+    # per-arm source coordinates (the memsafety isolation path).
+    from repro.ir.pipeline import compile_ir
+    from repro.lang.astclone import clone_tree
+    from repro.lang.program import frontend
+
+    front = frontend(ALT_DEADLOCK, "alt_dead.esp")
+    for info in front.checked.processes:
+        info.decl.body = clone_tree(info.decl.body)
+    program, _stats = compile_ir(front)
+    cons = next(p for p in program.processes if p.name == "cons")
+    arms = next(i for i in cons.instrs if i.__class__.__name__ == "Alt").arms
+    assert [str(arm.span) for arm in arms] == \
+        ["alt_dead.esp:11:9", "alt_dead.esp:12:9"]

@@ -60,6 +60,32 @@ def test_run_until_predicate():
     assert state["n"] == 3
 
 
+def test_run_until_clamps_clock_when_queue_drains_before_deadline():
+    # Regression: the drained-queue return path left ``now`` at the
+    # last event's time instead of advancing to the ``until_us``
+    # horizon the way run() does, so callers computing follow-up
+    # deadlines from ``sim.now`` started from a stale clock.
+    sim = Simulator()
+    sim.schedule(50.0, lambda: None)
+    assert sim.run_until(lambda: False, until_us=100.0) is False
+    assert sim.now == 100.0
+    # Also with an empty queue from the start.
+    sim2 = Simulator()
+    assert sim2.run_until(lambda: False, until_us=25.0) is False
+    assert sim2.now == 25.0
+
+
+def test_run_until_watchdog_fires_on_drain_not_one_event_late():
+    # Regression: a time-dependent watchdog predicate must see the
+    # deadline clock on the very call where the queue drains — the old
+    # path evaluated it against the stale pre-deadline ``now`` and
+    # reported failure, deferring the trip to a later call.
+    sim = Simulator()
+    sim.schedule(50.0, lambda: None)
+    assert sim.run_until(lambda: sim.now >= 100.0, until_us=100.0) is True
+    assert sim.now == 100.0
+
+
 def test_nested_scheduling_from_events():
     sim = Simulator()
     hits = []
