@@ -387,3 +387,113 @@ def test_throughput_table_and_regression_gate():
                 f"{floor:.0f} (baseline {old['states_per_sec']:.0f})"
             )
     assert not regressions, "throughput regressed: " + "; ".join(regressions)
+
+
+# -- partial-order + symmetry reduction gate -----------------------------------
+#
+# The reduction layer's claim is exploring *fewer* states with the
+# *same* verdict, so its gate has two halves: the ≥10x state-count
+# ratio on the two models ROADMAP item 1 names (vmmc sm1, the
+# heap-heavy outlier, and the retransmission protocol), and a
+# regression gate on the reduced state count and bytes/state recorded
+# in BENCH_verify.json — a canonicalizer change that silently weakens
+# reduction (or bloats keys) fails here even when verdicts still agree.
+
+_REDUCTION_FACTOR = 10.0
+
+
+def _reduction_models():
+    """(machine factory, gated) pairs.  sm1 clears 10x even under the
+    smoke environment budget; the retransmission ratio grows with the
+    window, so the gated instance (w6m7) is full-mode-only and smoke
+    keeps an ungated small instance for verdict agreement."""
+    front = frontend(VMMC_ESP_SOURCE)
+    sm1_plan = dict(PLANS["sm1"])
+    if _SMOKE:
+        sm1_plan["env_budget"] = 2
+    models = {
+        "vmmc sm1": (
+            lambda: build_isolated_machine(
+                front, "sm1", max_objects=24, **sm1_plan
+            )[0],
+            True,
+        ),
+    }
+    if _SMOKE:
+        models["retransmission w2m3"] = (
+            lambda: build_retransmission_machine(protocol_source(2, 3)),
+            False,
+        )
+    else:
+        models["retransmission w6m7"] = (
+            lambda: build_retransmission_machine(protocol_source(6, 7)),
+            True,
+        )
+    return models
+
+
+def test_reduction_table_and_state_gate():
+    mode = ("smoke" if _SMOKE else "full") + "-reduced"
+    committed = {}
+    if _BENCH_PATH.exists():
+        committed = json.loads(_BENCH_PATH.read_text())
+
+    table = Table(
+        "Partial-order + symmetry reduction (--reduce=por,sym)",
+        ["model", "plain states", "reduced states", "ratio",
+         "expanded", "pruned", "B/state", "verdicts"],
+    )
+    rows = {}
+    for name, (make, gated) in _reduction_models().items():
+        plain = Explorer(make(), stop_at_first=False).explore()
+        reduced = Explorer(make(), stop_at_first=False,
+                           reduce="por,sym").explore()
+        # Verdict equivalence is the soundness contract.
+        assert plain.ok == reduced.ok, name
+        assert ({v.kind for v in plain.violations}
+                == {v.kind for v in reduced.violations}), name
+        ratio = plain.states / max(reduced.states, 1)
+        per_state = reduced.memory_bytes / max(reduced.states, 1)
+        rows[name] = dict(
+            states_plain=plain.states,
+            states_reduced=reduced.states,
+            ratio=round(ratio, 1),
+            transitions_expanded=reduced.transitions,
+            transitions_pruned=reduced.transitions_pruned,
+            bytes_per_state=round(per_state, 1),
+        )
+        table.add(name, plain.states, reduced.states,
+                  f"{ratio:.1f}x", reduced.transitions,
+                  reduced.transitions_pruned, round(per_state, 1),
+                  "agree" if plain.ok == reduced.ok else "DIVERGE")
+        if gated:
+            assert ratio >= _REDUCTION_FACTOR, (
+                f"{name}: reduction ratio {ratio:.1f}x below the "
+                f"{_REDUCTION_FACTOR}x gate "
+                f"({plain.states} -> {reduced.states} states)"
+            )
+    table.note("gate: >=10x fewer stored states on vmmc sm1 "
+               + ("(smoke)" if _SMOKE else "and retransmission w6m7")
+               + " with identical verdicts")
+    table.show()
+
+    merged = dict(committed)
+    merged[mode] = rows
+    _BENCH_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+    drifts = []
+    for name, row in rows.items():
+        old = committed.get(mode, {}).get(name)
+        if not old:
+            continue
+        if row["states_reduced"] > old["states_reduced"] * 1.05:
+            drifts.append(
+                f"{name}: {row['states_reduced']} reduced states > "
+                f"committed {old['states_reduced']} (+5%)"
+            )
+        if row["bytes_per_state"] > old["bytes_per_state"] * 1.25:
+            drifts.append(
+                f"{name}: {row['bytes_per_state']} B/state > "
+                f"committed {old['bytes_per_state']} (+25%)"
+            )
+    assert not drifts, "reduction effectiveness regressed: " + "; ".join(drifts)

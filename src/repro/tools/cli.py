@@ -113,9 +113,11 @@ def cmd_run(args) -> int:
 
 def cmd_verify(args) -> int:
     _select_engine(args)
+    reduce = None if args.reduce in (None, "none") else args.reduce
     if args.process:
         report = verify_process(_read(args.file), args.process,
-                                max_states=args.max_states, jobs=args.jobs)
+                                max_states=args.max_states, jobs=args.jobs,
+                                reduce=reduce)
         print(report.summary())
         ok = report.ok
         result = report.result
@@ -129,10 +131,12 @@ def cmd_verify(args) -> int:
             engine=args.engine,
         )
         if args.jobs is None:
-            explorer = Explorer(machine, max_states=args.max_states)
+            explorer = Explorer(machine, max_states=args.max_states,
+                                reduce=reduce)
         else:
             explorer = ParallelExplorer(machine, jobs=args.jobs,
-                                        max_states=args.max_states)
+                                        max_states=args.max_states,
+                                        reduce=reduce)
         result = explorer.explore()
         print(result.summary())
         ok = result.ok
@@ -289,6 +293,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="explore with the sharded breadth-first engine across N "
              "worker processes (results are identical for every N; "
              "default: serial depth-first engine)",
+    )
+    p.add_argument(
+        "--reduce", choices=("por", "sym", "por,sym", "none"), default=None,
+        help="state-space reduction: partial-order (ample sets + "
+             "singleton chaining), process-symmetry canonicalization, "
+             "or both; --stats/--stats-json report ample hits, chained "
+             "states, and symmetry collisions (default: none)",
     )
     p.add_argument(
         "--stats", action="store_true",

@@ -30,6 +30,7 @@ from repro.runtime.machine import Machine
 from repro.verify.collapse import StateKeyer
 from repro.verify.explorer import _violation_from
 from repro.verify.properties import Invariant, Violation
+from repro.verify.reduction import Reducer, parse_reduce
 from repro.verify.state import canonical_state
 
 
@@ -43,6 +44,8 @@ class BitstateResult:
     # Fraction of bitmap bits set: a high fill factor means collisions
     # (and missed states) are likely — SPIN reports the same hint.
     fill_factor: float = 0.0
+    # States walked through inside singleton chains (reduction on).
+    chained: int = 0
 
     @property
     def ok(self) -> bool:
@@ -69,6 +72,7 @@ class BitstateExplorer:
         max_depth: int | None = None,
         stop_at_first: bool = True,
         seed: int = 0,
+        reduce: str | None = None,
     ):
         self.machine = machine
         self.invariants = list(invariants or [])
@@ -77,6 +81,16 @@ class BitstateExplorer:
         self.max_depth = max_depth
         self.stop_at_first = stop_at_first
         self.seed = seed
+        # Bit-state search is already lossy, so it takes only the
+        # proviso-free subset of the reduction layer: the symmetry
+        # canonicalizer (fewer distinct keys, fewer bits set) and
+        # chaining through singleton states.  Strict ample sets are
+        # serial-exhaustive-only; see docs/VERIFIER.md.
+        self.reduce = parse_reduce(reduce)
+        self._reducer = (
+            Reducer(machine, self.reduce, has_invariants=bool(self.invariants))
+            if self.reduce else None
+        )
         self._bitmap = bytearray(bitmap_bits // 8 + 1)
         self._bits_set = 0
         self._keyer = StateKeyer(machine_shape=isinstance(machine, Machine))
@@ -102,17 +116,23 @@ class BitstateExplorer:
                 new = True
         return new
 
+    def _canon(self, machine):
+        if self._reducer is not None:
+            return self._reducer.canonical(machine)
+        return canonical_state(machine)
+
     def explore(self) -> BitstateResult:
         machine = self.machine
         result = BitstateResult(bitmap_bytes=len(self._bitmap))
         started = time.perf_counter()
+        chase = self._reducer is not None and self._reducer.chain_ok
         try:
             machine.run_ready()
         except ESPError as err:
             result.violations.append(_violation_from(err, [], 0))
             result.elapsed_seconds = time.perf_counter() - started
             return result
-        self._mark(canonical_state(machine))
+        self._mark(self._canon(machine))
         result.states_stored = 1
         stack = [(machine.snapshot(), 0, [])]
         while stack:
@@ -125,13 +145,14 @@ class BitstateExplorer:
             for move in machine.enabled_moves():
                 machine.restore(snapshot)
                 next_trace = trace + [move.describe(machine)]
+                cur_depth = depth + 1
                 try:
                     machine.apply(move)
                     machine.run_ready()
                 except ESPError as err:
                     result.transitions += 1
                     result.violations.append(
-                        _violation_from(err, next_trace, depth + 1)
+                        _violation_from(err, next_trace, cur_depth)
                     )
                     continue
                 result.transitions += 1
@@ -140,15 +161,58 @@ class BitstateExplorer:
                     message = invariant(machine)
                     if message is not None:
                         result.violations.append(
-                            Violation("invariant", message, next_trace, depth + 1)
+                            Violation("invariant", message, next_trace, cur_depth)
                         )
                         broken = True
                         break
                 if broken:
                     continue
-                if self._mark(canonical_state(machine)):
+                # Chase singleton states (each step settled and
+                # violation-checked) instead of spending bitmap bits
+                # on them; the chain-local digest guard stops cycles.
+                chain_keys: set[bytes] = set()
+                canon = self._canon(machine)
+                while chase:
+                    digest = self._keyer.digest(canon)
+                    if digest in chain_keys:
+                        break
+                    if (self.max_depth is not None
+                            and cur_depth >= self.max_depth):
+                        break
+                    step_moves = machine.enabled_moves()
+                    if len(step_moves) != 1:
+                        break
+                    chain_keys.add(digest)
+                    next_trace = next_trace + [step_moves[0].describe(machine)]
+                    cur_depth += 1
+                    result.transitions += 1
+                    result.chained += 1
+                    try:
+                        machine.apply(step_moves[0])
+                        machine.run_ready()
+                    except ESPError as err:
+                        result.violations.append(
+                            _violation_from(err, next_trace, cur_depth)
+                        )
+                        broken = True
+                        break
+                    for invariant in self.invariants:
+                        message = invariant(machine)
+                        if message is not None:
+                            result.violations.append(
+                                Violation("invariant", message, next_trace,
+                                          cur_depth)
+                            )
+                            broken = True
+                            break
+                    if broken:
+                        break
+                    canon = self._canon(machine)
+                if broken:
+                    continue
+                if self._mark(canon):
                     result.states_stored += 1
-                    stack.append((machine.snapshot(), depth + 1, next_trace))
+                    stack.append((machine.snapshot(), cur_depth, next_trace))
         result.fill_factor = self._bits_set / self.bitmap_bits
         result.elapsed_seconds = time.perf_counter() - started
         return result

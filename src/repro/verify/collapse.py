@@ -142,6 +142,36 @@ class MachineCollapseStore:
         self._key_bytes += sys.getsizeof(key)
         return True
 
+    def contains(self, state) -> bool:
+        """Non-mutating membership test (no component is interned): a
+        state whose components are not all in the tables cannot have
+        been added.  The reduced explorer probes chain states with
+        this before deciding whether to keep chasing."""
+        procs, heap, ext = state
+        indices = []
+        lookup_proc = self.procs.index_of.get
+        for p in procs:
+            index = lookup_proc(p)
+            if index is None:
+                return False
+            indices.append(index)
+        lookup_obj = self.objects.index_of.get
+        vector = []
+        for entry in heap:
+            index = lookup_obj(entry)
+            if index is None:
+                return False
+            vector.append(index)
+        vector_index = self.vectors.index_of.get(tuple(vector))
+        if vector_index is None:
+            return False
+        ext_index = self.exts.index_of.get(ext)
+        if ext_index is None:
+            return False
+        indices.append(vector_index)
+        indices.append(ext_index)
+        return array("I", indices).tobytes() in self._seen
+
     def add_current(self, machine, base=None):
         """Fused :func:`repro.verify.state.canonical_state` + :meth:`add`
         over the machine's *current* state: canonicalisation and
@@ -328,6 +358,18 @@ class GenericCollapseStore:
         self._key_bytes += deep_size(key, self._size_seen)
         return True
 
+    def _lookup(self, value, depth: int):
+        if depth and type(value) is tuple:
+            key = tuple(self._lookup(v, depth - 1) for v in value)
+            return None if any(k is None for k in key) else key
+        return self.table.index_of.get(value)
+
+    def contains(self, state) -> bool:
+        """Non-mutating membership test (see
+        :meth:`MachineCollapseStore.contains`)."""
+        key = self._lookup(state, self._DEPTH)
+        return key is not None and key in self._seen
+
     def add_current(self, machine, base=None):
         return self.add(canonical_state(machine)), None
 
@@ -368,6 +410,9 @@ class PlainStore:
         self._seen.add(state)
         self._bytes += deep_size(state, self._size_seen)
         return True
+
+    def contains(self, state) -> bool:
+        return state in self._seen
 
     def add_current(self, machine, base=None):
         return self.add(canonical_state(machine)), None

@@ -145,6 +145,33 @@ def replay_violation(
     raise ReplayError("trace replayed without reproducing a violation")
 
 
+def replay_on_reference(
+    program,
+    violation: Violation,
+    invariants: list[Invariant] | None = None,
+    quiescence_ok: bool = True,
+    externals=None,
+) -> Violation:
+    """Replay a violation on a fresh *reference* machine: the AST
+    walker with no reduction.
+
+    This is the soundness oracle for the reduction layer
+    (:mod:`repro.verify.reduction`): a counterexample found while
+    exploring the reduced state space must describe a real execution
+    of the unreduced program, so it must replay — move descriptions
+    matched step by step — on the unreduced reference interpreter and
+    reproduce a violation of the same kind.  Raises
+    :class:`ReplayError` when it does not, which is exactly the
+    failure the reduction-differential suite exists to catch."""
+    from repro.runtime.machine import Machine
+    from repro.verify.environment import default_verification_bridges
+
+    if externals is None:
+        externals = default_verification_bridges(program)
+    machine = Machine(program, externals=externals, engine="ast")
+    return replay_violation(machine, violation, invariants, quiescence_ok)
+
+
 def report(violations: list[Violation]) -> str:
     """A summary report over all violations found in a run."""
     if not violations:

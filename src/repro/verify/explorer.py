@@ -30,6 +30,7 @@ from repro.runtime.machine import Machine
 from repro.verify.collapse import make_visited_store
 from repro.verify.counterexample import replay_path
 from repro.verify.properties import Invariant, Violation
+from repro.verify.reduction import Reducer, parse_reduce
 from repro.verify.state import is_quiescent
 
 
@@ -40,6 +41,10 @@ class ExploreResult:
 
     states: int = 0
     transitions: int = 0
+    # Enabled moves the reduction proved redundant and did not expand;
+    # ``transitions`` counts only moves actually executed, so the two
+    # are reported separately (their sum is what a plain run expands).
+    transitions_pruned: int = 0
     violations: list[Violation] = field(default_factory=list)
     complete: bool = True
     max_depth: int = 0
@@ -54,7 +59,8 @@ class ExploreResult:
     def summary(self) -> str:
         status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
         return (
-            f"{self.states} states, {self.transitions} transitions, "
+            f"{self.states} states, {self.transitions} transitions expanded "
+            f"({self.transitions_pruned} pruned), "
             f"depth {self.max_depth}, {self.elapsed_seconds:.3f}s, "
             f"~{self.memory_bytes / 1e6:.2f} MB [{status}]"
         )
@@ -78,6 +84,7 @@ class Explorer:
         max_depth: int | None = None,
         stop_at_first: bool = True,
         store: str = "collapse",
+        reduce: str | None = None,
     ):
         self.machine = machine
         self.invariants = list(invariants or [])
@@ -90,8 +97,15 @@ class Explorer:
         self.max_depth = max_depth
         self.stop_at_first = stop_at_first
         self.store_kind = store
+        # "por", "sym", "por,sym", or None (see repro.verify.reduction).
+        self.reduce = parse_reduce(reduce)
 
     def explore(self) -> ExploreResult:
+        if self.reduce:
+            return self._explore_reduced()
+        return self._explore_plain()
+
+    def _explore_plain(self) -> ExploreResult:
         machine = self.machine
         result = ExploreResult()
         started = time.perf_counter()
@@ -155,6 +169,267 @@ class Explorer:
 
         self._finish(result, store, initial_snapshot, pendings, started)
         return result
+
+    # -- reduced exploration ------------------------------------------------------
+
+    def _explore_reduced(self) -> ExploreResult:
+        """DFS over the reduced state graph: ample sets (C1–C3), sleep
+        sets with the state-caching wake-up rule, and transition
+        chaining, keyed by the symmetry canonicalizer when ``sym`` is
+        on.  See :mod:`repro.verify.reduction` for the soundness
+        conditions; violations carry full move-index paths, so their
+        counterexamples replay on an unreduced machine exactly like the
+        plain explorer's."""
+        machine = self.machine
+        result = ExploreResult()
+        started = time.perf_counter()
+        initial_snapshot = machine.snapshot()
+        pendings: list[_Pending] = []
+        reducer = Reducer(machine, self.reduce,
+                          has_invariants=bool(self.invariants))
+        store = make_visited_store(machine, self.store_kind)
+        counters = {"ample_hits": 0, "c3_repairs": 0, "c3_forced": 0,
+                    "chained": 0, "sleep_skips": 0, "sym_collisions": 0}
+        # Sleep sets of stored states (only kept while non-empty); the
+        # wake-up rule re-expands a state revisited with a smaller set.
+        sleep_of: dict = {}
+        # DFS-path membership as a multiset: chain intermediates of
+        # different nodes may share a key, and C3 needs the key to stay
+        # "on the path" until the *last* holder pops.
+        in_stack: dict = {}
+
+        def stack_add(key):
+            in_stack[key] = in_stack.get(key, 0) + 1
+
+        def stack_discard(key):
+            count = in_stack.get(key, 0) - 1
+            if count <= 0:
+                in_stack.pop(key, None)
+            else:
+                in_stack[key] = count
+
+        def chase(sleep, path):
+            """Advance through states where reduction leaves exactly one
+            move to explore, without storing the intermediates.  The
+            machine must be settled.  Returns ``(key, changed, sleep,
+            path, intermediates, forced)`` — ``key`` is None when the
+            branch ended in a violation, ``forced`` is True when a
+            strict chain step closed a cycle onto the DFS path and the
+            endpoint must therefore be expanded in full (C3)."""
+            chain_keys = set()
+            inter = []
+            while True:
+                key = reducer.canonical(machine)
+                changed = reducer.last_changed
+                if (key in chain_keys or key in in_stack
+                        or store.contains(key)):
+                    return key, changed, sleep, path, inter, False
+                if (self.max_depth is not None
+                        and len(path) >= self.max_depth):
+                    return key, changed, sleep, path, inter, False
+                moves = machine.enabled_moves()
+                if not moves:
+                    return key, changed, sleep, path, inter, False
+                infos = [reducer.move_info(m) for m in moves]
+                sleep_ids = {t[0] for t in sleep}
+                selection, explore = reducer.select_ample(
+                    machine, moves, infos, sleep_ids
+                )
+                if not reducer.chain_ok or len(explore) != 1:
+                    return key, changed, sleep, path, inter, False
+                index = explore[0]
+                info = infos[index]
+                strict = len(selection) < len(moves)
+                snap = machine.snapshot() if strict else None
+                result.transitions += 1
+                result.transitions_pruned += len(moves) - 1
+                counters["chained"] += 1
+                next_path = path + (index,)
+                try:
+                    machine.apply(moves[index])
+                except ESPError as err:
+                    pendings.append((violation_kind(err), err.format(),
+                                     len(next_path), next_path))
+                    return None, False, sleep, path, inter, False
+                if not self._settle(pendings, next_path, len(next_path)):
+                    return None, False, sleep, path, inter, False
+                if strict:
+                    # In-chain C3 peek: a strict step whose successor is
+                    # already on the DFS path (or earlier in this chain)
+                    # would defer the pruned moves around a cycle; stop
+                    # the chain here and expand this state in full.
+                    key2 = reducer.canonical(machine)
+                    if key2 in in_stack or key2 in chain_keys:
+                        machine.restore(snap)
+                        result.transitions -= 1
+                        result.transitions_pruned -= len(moves) - 1
+                        counters["chained"] -= 1
+                        counters["c3_forced"] += 1
+                        return key, changed, sleep, path, inter, True
+                chain_keys.add(key)
+                inter.append(key)
+                path = next_path
+                sleep = frozenset(
+                    t for t in sleep if reducer.independent(t, info)
+                )
+
+        nodes: list[dict] = []
+
+        def push(key, changed, sleep, path, inter, forced, is_new):
+            if is_new:
+                result.states += 1
+                result.max_depth = max(result.max_depth, len(path))
+            if sleep:
+                sleep_of[key] = sleep
+            stack_add(key)
+            for k in inter:
+                stack_add(k)
+            nodes.append({
+                "key": key, "snap": machine.snapshot(), "sleep": sleep,
+                "path": path, "inter": inter, "forced": forced,
+                "pending": None, "done": [], "attempted": 0,
+            })
+
+        if not self._settle(pendings, (), 0):
+            self._finish(result, store, initial_snapshot, pendings, started)
+            self._attach_reduction_stats(result, reducer, counters)
+            return result
+
+        key0, changed0, sleep0, path0, inter0, forced0 = chase(frozenset(), ())
+        if key0 is not None:
+            store.add(key0)
+            push(key0, changed0, sleep0, path0, inter0, forced0, True)
+
+        while nodes:
+            if self.stop_at_first and pendings:
+                break
+            if (self.max_states is not None
+                    and result.states >= self.max_states):
+                result.complete = False
+                break
+            node = nodes[-1]
+            if node["pending"] is None:
+                # First visit: select the ample set at this node.
+                machine.restore(node["snap"])
+                moves = machine.enabled_moves()
+                if not moves:
+                    self._check_deadlock(pendings, node["path"],
+                                         len(node["path"]))
+                    node["pending"] = []
+                    node["moves"] = []
+                    continue
+                if (self.max_depth is not None
+                        and len(node["path"]) >= self.max_depth):
+                    result.complete = False
+                    node["pending"] = []
+                    node["moves"] = moves
+                    continue
+                infos = [reducer.move_info(m) for m in moves]
+                sleep_ids = {t[0] for t in node["sleep"]}
+                if node["forced"]:
+                    selection = tuple(range(len(moves)))
+                    explore = [i for i in selection
+                               if infos[i][0] not in sleep_ids]
+                else:
+                    selection, explore = reducer.select_ample(
+                        machine, moves, infos, sleep_ids
+                    )
+                if len(selection) < len(moves):
+                    counters["ample_hits"] += 1
+                counters["sleep_skips"] += len(selection) - len(explore)
+                node.update(pending=explore, moves=moves, infos=infos,
+                            selection=set(selection),
+                            strict=len(selection) < len(moves))
+                continue
+            if not node["pending"]:
+                result.transitions_pruned += (
+                    len(node["moves"]) - node["attempted"]
+                )
+                nodes.pop()
+                stack_discard(node["key"])
+                for k in node["inter"]:
+                    stack_discard(k)
+                continue
+            index = node["pending"].pop(0)
+            info = node["infos"][index]
+            node["attempted"] += 1
+            machine.restore(node["snap"])
+            next_path = node["path"] + (index,)
+            result.transitions += 1
+            try:
+                machine.apply(node["moves"][index])
+            except ESPError as err:
+                pendings.append((violation_kind(err), err.format(),
+                                 len(next_path), next_path))
+                node["done"].append(info)
+                continue
+            if not self._settle(pendings, next_path, len(next_path)):
+                node["done"].append(info)
+                continue
+            base_sleep = frozenset(
+                t for t in set(node["sleep"]) | set(node["done"])
+                if reducer.independent(t, info)
+            ) if reducer.sleep_ok else frozenset()
+            node["done"].append(info)
+            key, changed, child_sleep, child_path, inter, forced = chase(
+                base_sleep, next_path
+            )
+            if key is None:
+                continue
+            if key in in_stack and node["strict"]:
+                # Dynamic C3 repair: this strict node's edge closed a
+                # cycle onto the DFS path, so its deferred moves could
+                # be ignored forever — de-strictify and explore them.
+                counters["c3_repairs"] += 1
+                node["strict"] = False
+                sleep_ids = {t[0] for t in node["sleep"]}
+                extra = [
+                    i for i in range(len(node["moves"]))
+                    if i not in node["selection"]
+                    and node["infos"][i][0] not in sleep_ids
+                ]
+                node["selection"].update(extra)
+                node["pending"].extend(extra)
+                continue
+            if store.contains(key):
+                if changed:
+                    counters["sym_collisions"] += 1
+                stored_sleep = sleep_of.get(key, frozenset())
+                child_ids = {t[0] for t in child_sleep}
+                if {t[0] for t in stored_sleep} <= child_ids:
+                    continue
+                # Wake-up rule: revisited with a smaller sleep set —
+                # moves asleep then but awake now were never explored
+                # from here; re-expand under the intersection.
+                newsleep = frozenset(
+                    t for t in stored_sleep if t[0] in child_ids
+                )
+                if newsleep:
+                    sleep_of[key] = newsleep
+                else:
+                    sleep_of.pop(key, None)
+                if key in in_stack:
+                    continue
+                push(key, changed, newsleep, child_path, inter, forced,
+                     False)
+                continue
+            store.add(key)
+            push(key, changed, child_sleep, child_path, inter, forced, True)
+
+        self._finish(result, store, initial_snapshot, pendings, started)
+        self._attach_reduction_stats(result, reducer, counters)
+        return result
+
+    def _attach_reduction_stats(self, result: ExploreResult, reducer,
+                                counters: dict) -> None:
+        result.stats["reduction"] = {
+            "modes": self.reduce.label,
+            "ample_ok": reducer.ample_ok,
+            "sym": reducer.sym,
+            "transitions_pruned": result.transitions_pruned,
+            **counters,
+            **reducer.counters,
+        }
 
     # -- helpers ------------------------------------------------------------------
 

@@ -217,12 +217,15 @@ def verify_process(
     opt_level: OptLevel = OptLevel.FULL,
     env_budget: int | None = None,
     jobs: int | None = None,
+    reduce: str | None = None,
 ) -> MemSafetyReport:
     """Exhaustively verify the memory safety of one process (§5.3);
     pass ``env_budget`` to bound the environment for processes whose
     counters grow without bound.  With ``jobs`` set, the sharded
     breadth-first :class:`~repro.verify.parallel.ParallelExplorer`
-    explores the isolated machine instead of the serial explorer."""
+    explores the isolated machine instead of the serial explorer.
+    ``reduce`` selects the reduction modes (``"por"``, ``"sym"``,
+    ``"por,sym"``) of :mod:`repro.verify.reduction`."""
     front = frontend(source) if isinstance(source, str) else source
     machine, report = build_isolated_machine(
         front, process_name, int_domain, array_sizes,
@@ -232,8 +235,10 @@ def verify_process(
         from repro.verify.parallel import ParallelExplorer
 
         report.result = ParallelExplorer(
-            machine, jobs=jobs, max_states=max_states
+            machine, jobs=jobs, max_states=max_states, reduce=reduce
         ).explore()
     else:
-        report.result = Explorer(machine, max_states=max_states).explore()
+        report.result = Explorer(
+            machine, max_states=max_states, reduce=reduce
+        ).explore()
     return report

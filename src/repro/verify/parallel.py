@@ -52,6 +52,7 @@ from repro.verify.collapse import SnapshotCodec, StateKeyer
 from repro.verify.counterexample import replay_collapsed, replay_path
 from repro.verify.explorer import ExploreResult, violation_kind
 from repro.verify.properties import Invariant, Violation
+from repro.verify.reduction import ReduceOptions, Reducer, parse_reduce
 from repro.verify.state import canonical_state, is_quiescent
 
 
@@ -63,6 +64,18 @@ class _Config:
     check_deadlock: bool
     quiescence_ok: bool
     max_depth: int | None
+    # Reduction under BFS is deliberately conservative: the symmetry
+    # keyer plus chaining through *forced* singletons (both sound with
+    # no cycle proviso).  Strict ample sets need the DFS in-stack
+    # proviso, so they stay serial-only; see docs/VERIFIER.md.
+    reduce: ReduceOptions | None = None
+    has_invariants: bool = False
+
+
+def _make_reducer(machine, cfg: _Config):
+    if not cfg.reduce:
+        return None
+    return Reducer(machine, cfg.reduce, has_invariants=cfg.has_invariants)
 
 
 # One visited digest costs its bytes object plus a hash-table slot;
@@ -83,14 +96,23 @@ def _owner_of(digest: bytes, jobs: int) -> int:
 
 
 def _expand_state(machine: Machine, invariants, cfg: _Config, keyer, codec,
-                  desc, depth, path):
+                  desc, depth, path, reducer=None):
     """Expand one deduplicated state.  Returns ``(successors, pendings,
-    transitions, truncated)`` where successors carry their owner shard.
+    transitions, truncated, chained, sym_changed)`` where successors
+    carry their owner shard.
 
     Mirrors the serial explorer's per-state semantics exactly: every
     move application counts one transition even when it raises, settle
     runs all ready processes and checks invariants, deadlock is tested
-    on move-less states before the depth bound applies."""
+    on move-less states before the depth bound applies.
+
+    With a reducer, successors are (a) keyed by the symmetry-canonical
+    form instead of the raw positional encoding and (b) chased through
+    singleton states — a state with exactly one enabled move is never
+    stored; the chain is followed (each step settled and
+    violation-checked) until a branching, cycling, or depth-capped
+    state appears.  Both are sound without a cycle proviso, so they
+    are safe under BFS where no DFS stack exists for C3."""
     machine.restore_portable(codec.decode(desc))
     moves = machine.enabled_moves()
     successors: list[tuple] = []
@@ -104,10 +126,13 @@ def _expand_state(machine: Machine, invariants, cfg: _Config, keyer, codec,
                     ("deadlock", f"no enabled move; blocked: {names}",
                      depth, path)
                 )
-        return successors, pendings, 0, False
+        return successors, pendings, 0, False, 0, 0
     if cfg.max_depth is not None and depth >= cfg.max_depth:
-        return successors, pendings, 0, True
+        return successors, pendings, 0, True, 0, 0
     transitions = 0
+    chained = 0
+    sym_changed = 0
+    chase = reducer is not None and reducer.chain_ok
     snap = None
     for index, move in enumerate(moves):
         if snap is None:
@@ -115,31 +140,73 @@ def _expand_state(machine: Machine, invariants, cfg: _Config, keyer, codec,
         else:
             machine.restore(snap)
         next_path = path + (index,)
+        cur_depth = depth + 1
         transitions += 1
         try:
             machine.apply(move)
             machine.run_ready()
         except ESPError as err:
             pendings.append(
-                (violation_kind(err), err.format(), depth + 1, next_path)
+                (violation_kind(err), err.format(), cur_depth, next_path)
             )
             continue
-        broken = False
+        violated = False
         for invariant in invariants:
             message = invariant(machine)
             if message is not None:
-                pendings.append(("invariant", message, depth + 1, next_path))
-                broken = True
+                pendings.append(("invariant", message, cur_depth, next_path))
+                violated = True
                 break
-        if broken:
+        if violated:
             continue
-        digest = keyer.digest(canonical_state(machine))
+        chain_keys: set[bytes] = set()
+        while True:
+            if reducer is not None:
+                canon = reducer.canonical(machine)
+                if reducer.last_changed:
+                    sym_changed += 1
+            else:
+                canon = canonical_state(machine)
+            digest = keyer.digest(canon)
+            if not chase or digest in chain_keys:
+                break
+            if cfg.max_depth is not None and cur_depth >= cfg.max_depth:
+                break
+            step_moves = machine.enabled_moves()
+            if len(step_moves) != 1:
+                break
+            chain_keys.add(digest)
+            next_path = next_path + (0,)
+            cur_depth += 1
+            transitions += 1
+            chained += 1
+            try:
+                machine.apply(step_moves[0])
+                machine.run_ready()
+            except ESPError as err:
+                pendings.append(
+                    (violation_kind(err), err.format(), cur_depth, next_path)
+                )
+                violated = True
+                break
+            for invariant in invariants:
+                message = invariant(machine)
+                if message is not None:
+                    pendings.append(
+                        ("invariant", message, cur_depth, next_path)
+                    )
+                    violated = True
+                    break
+            if violated:
+                break
+        if violated:
+            continue
         owner = _owner_of(digest, cfg.jobs)
         successors.append(
             (owner, digest, codec.encode(machine.snapshot_portable()),
-             depth + 1, next_path)
+             cur_depth, next_path)
         )
-    return successors, pendings, transitions, False
+    return successors, pendings, transitions, False, chained, sym_changed
 
 
 def _dedup_batch(visited: set, batch) -> list[tuple]:
@@ -170,6 +237,7 @@ def _worker_main(machine, invariants, cfg, conn, tasks) -> None:
     visited: set[bytes] = set()
     keyer = StateKeyer(machine_shape=isinstance(machine, Machine))
     codec = SnapshotCodec()
+    reducer = _make_reducer(machine, cfg)
     try:
         while True:
             msg = conn.recv()
@@ -185,23 +253,27 @@ def _worker_main(machine, invariants, cfg, conn, tasks) -> None:
                 pendings: list[tuple] = []
                 transitions = 0
                 truncated = False
+                chained = 0
+                sym_changed = 0
                 while True:
                     chunk = tasks.get()
                     if chunk is None:
                         break
                     for desc, depth, path in chunk:
-                        succ, pend, trans, trunc = _expand_state(
+                        succ, pend, trans, trunc, chain, sym = _expand_state(
                             machine, invariants, cfg, keyer, codec, desc,
-                            depth, path
+                            depth, path, reducer
                         )
                         for owner, key, desc2, depth2, path2 in succ:
                             by_owner[owner].append((key, desc2, depth2, path2))
                         pendings.extend(pend)
                         transitions += trans
                         truncated = truncated or trunc
+                        chained += chain
+                        sym_changed += sym
                 conn.send(
                     ("expanded", dict(by_owner), pendings, transitions,
-                     truncated, codec.drain())
+                     truncated, chained, sym_changed, codec.drain())
                 )
             elif op == "stop":
                 break
@@ -227,6 +299,7 @@ class _InlinePool:
         self.cfg = cfg
         self.keyer = keyer
         self.codec = codec
+        self.reducer = _make_reducer(machine, cfg)
         self.visited = [set() for _ in range(cfg.jobs)]
 
     def dedup(self, frontier: dict[int, list]):
@@ -242,18 +315,23 @@ class _InlinePool:
         pendings: list[tuple] = []
         transitions = 0
         truncated = False
+        chained = 0
+        sym_changed = 0
         for chunk in chunks:
             for desc, depth, path in chunk:
-                succ, pend, trans, trunc = _expand_state(
+                succ, pend, trans, trunc, chain, sym = _expand_state(
                     self.machine, self.invariants, self.cfg, self.keyer,
-                    self.codec, desc, depth, path
+                    self.codec, desc, depth, path, self.reducer
                 )
                 for owner, key, desc2, depth2, path2 in succ:
                     by_owner[owner].append((key, desc2, depth2, path2))
                 pendings.extend(pend)
                 transitions += trans
                 truncated = truncated or trunc
-        return dict(by_owner), pendings, transitions, truncated, self.codec.drain()
+                chained += chain
+                sym_changed += sym
+        return (dict(by_owner), pendings, transitions, truncated, chained,
+                sym_changed, self.codec.drain())
 
     def close(self) -> None:
         pass
@@ -313,16 +391,22 @@ class _ProcessPool:
         pendings: list[tuple] = []
         transitions = 0
         truncated = False
+        chained = 0
+        sym_changed = 0
         merged_delta: dict = {}
         for conn in self.conns:
-            _, worker_by_owner, pend, trans, trunc, drain = self._recv(conn)
+            (_, worker_by_owner, pend, trans, trunc, chain, sym,
+             drain) = self._recv(conn)
             for owner, items in worker_by_owner.items():
                 by_owner[owner].extend(items)
             pendings.extend(pend)
             transitions += trans
             truncated = truncated or trunc
+            chained += chain
+            sym_changed += sym
             merged_delta.update(drain)
-        return dict(by_owner), pendings, transitions, truncated, merged_delta
+        return (dict(by_owner), pendings, transitions, truncated, chained,
+                sym_changed, merged_delta)
 
     def close(self) -> None:
         for conn in self.conns:
@@ -355,7 +439,15 @@ class ParallelExplorer:
     128-bit content digests rather than full canonical encodings, so
     (unlike the serial collapse store, which is exact) two distinct
     states colliding in blake2b-128 would merge them.  See
-    docs/VERIFIER.md for why that risk is accepted here."""
+    docs/VERIFIER.md for why that risk is accepted here.
+
+    ``reduce`` enables the BFS-safe subset of the serial explorer's
+    reduction layer: the symmetry canonicalizer feeds the digest keyer
+    and singleton states are chained through rather than stored.
+    Strict ample sets need the DFS in-stack cycle proviso, so a
+    reduced parallel run stores more states than a reduced serial run
+    — but remains byte-identical across ``jobs`` values and agrees on
+    every verdict."""
 
     def __init__(
         self,
@@ -369,6 +461,7 @@ class ParallelExplorer:
         stop_at_first: bool = True,
         batch_size: int = 32,
         use_processes: bool | None = None,
+        reduce: str | None = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -378,11 +471,14 @@ class ParallelExplorer:
         self.max_states = max_states
         self.stop_at_first = stop_at_first
         self.batch_size = max(1, batch_size)
+        self.reduce = parse_reduce(reduce)
         self.cfg = _Config(
             jobs=jobs,
             check_deadlock=check_deadlock,
             quiescence_ok=quiescence_ok,
             max_depth=max_depth,
+            reduce=self.reduce or None,
+            has_invariants=bool(self.invariants),
         )
         fork_ok = "fork" in multiprocessing.get_all_start_methods()
         if use_processes is None:
@@ -405,7 +501,11 @@ class ParallelExplorer:
             result.complete = False
             return result
 
-        key0 = keyer.digest(canonical_state(machine))
+        reducer = _make_reducer(machine, self.cfg)
+        if reducer is not None:
+            key0 = keyer.digest(reducer.canonical(machine))
+        else:
+            key0 = keyer.digest(canonical_state(machine))
         start_desc = codec.encode(machine.snapshot_portable())
         frontier = {_owner_of(key0, self.jobs): [(key0, start_desc, 0, ())]}
         delta = codec.drain()
@@ -415,6 +515,8 @@ class ParallelExplorer:
         truncated = False
         depth = 0
         rounds = 0
+        chained_total = 0
+        sym_changed_total = 0
         try:
             while frontier:
                 new_by_shard, store_bytes = pool.dedup(frontier)
@@ -438,13 +540,14 @@ class ParallelExplorer:
                     all_new[i:i + self.batch_size]
                     for i in range(0, len(all_new), self.batch_size)
                 ]
-                frontier, pendings, transitions, trunc, delta = pool.expand(
-                    chunks, delta
-                )
+                (frontier, pendings, transitions, trunc, chained, sym_changed,
+                 delta) = pool.expand(chunks, delta)
                 codec.merge(delta)  # coordinator mirrors the payload universe
                 rounds += 1
                 result.transitions += transitions
                 truncated = truncated or trunc
+                chained_total += chained
+                sym_changed_total += sym_changed
                 pendings_all.extend(pendings)
                 if self.stop_at_first and pendings_all:
                     break
@@ -469,6 +572,14 @@ class ParallelExplorer:
             },
             "transport": codec.stats(),
         }
+        if self.reduce:
+            result.stats["reduction"] = {
+                "modes": self.reduce.label,
+                "strategy": "bfs-conservative (sym keyer + singleton chains)",
+                "sym": reducer.sym,
+                "chained": chained_total,
+                "sym_canon_changed": sym_changed_total,
+            }
         result.elapsed_seconds = time.perf_counter() - started
         return result
 

@@ -234,3 +234,95 @@ process q {
     assert not par.ok
     assert par.violations[0].kind == "assertion"
     assert par.violations[0].depth == 0
+
+
+# -- reduction under the parallel engine ---------------------------------------
+#
+# ParallelExplorer takes the BFS-safe subset of the reduction layer
+# (symmetry keyer + singleton chaining; no strict ample sets, which
+# need the DFS cycle proviso).  The contract: reduced results are
+# byte-identical for every jobs value and backend, the verdict and
+# violation kinds agree with the *plain* serial explorer, and the
+# reduced run never stores more states than its own plain run.
+
+REDUCE_MODES = ("por", "sym", "por,sym")
+
+# True symmetry replicas: three textually identical tickers (out-side
+# only, so ESP's one-pattern-per-process rule allows them) and a
+# counting consumer — the permuted ticker states collapse to one
+# canonical representative.
+REPLICA_TICKERS = """
+channel tally: int
+process t0 { out( tally, 1); out( tally, 1); }
+process t1 { out( tally, 1); out( tally, 1); }
+process t2 { out( tally, 1); out( tally, 1); }
+process boss {
+    $n = 0;
+    while (n < 6) { in( tally, $d); n = n + d; }
+}
+"""
+
+
+@pytest.mark.parametrize("mode", REDUCE_MODES)
+def test_reduced_output_identical_across_jobs_and_backends(mode):
+    runs = [
+        ParallelExplorer(build_machine(BUGGY), jobs=jobs,
+                         use_processes=procs, stop_at_first=False,
+                         reduce=mode).explore()
+        for jobs, procs in [(1, False), (2, False), (4, False),
+                            (2, True), (4, True)]
+    ]
+    baseline = runs[0]
+    assert not baseline.ok
+    for run in runs[1:]:
+        assert _stats(run) == _stats(baseline)
+        assert _rendered(run) == _rendered(baseline)
+
+
+@pytest.mark.parametrize("mode", REDUCE_MODES)
+def test_reduced_parallel_verdict_matches_plain_serial(mode):
+    for source in (BUGGY, REPLICA_TICKERS):
+        machine = (build_machine(source) if source is BUGGY
+                   else Machine(compile_source(source)))
+        plain = Explorer(machine, quiescence_ok=False,
+                         stop_at_first=False).explore()
+        machine = (build_machine(source) if source is BUGGY
+                   else Machine(compile_source(source)))
+        reduced = ParallelExplorer(machine, jobs=2, quiescence_ok=False,
+                                   stop_at_first=False, reduce=mode).explore()
+        assert reduced.ok == plain.ok
+        assert ({v.kind for v in reduced.violations}
+                == {v.kind for v in plain.violations})
+        assert reduced.states <= plain.states
+
+
+def test_replica_sorting_shrinks_the_parallel_store():
+    # The symmetry canonicalizer must actually merge the permuted
+    # replica states, identically for every jobs value.
+    plain = [
+        _parallel(REPLICA_TICKERS, jobs, stop_at_first=False)
+        for jobs in (1, 2, 4)
+    ]
+    reduced = [
+        ParallelExplorer(Machine(compile_source(REPLICA_TICKERS)), jobs=jobs,
+                         stop_at_first=False, reduce="sym").explore()
+        for jobs in (1, 2, 4)
+    ]
+    assert len({_stats(r) for r in plain}) == 1
+    assert len({_stats(r) for r in reduced}) == 1
+    assert reduced[0].ok and plain[0].ok
+    assert reduced[0].states < plain[0].states
+    assert reduced[0].stats["reduction"]["sym_canon_changed"] > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(esp_programs())
+def test_reduced_parallel_agrees_with_plain_on_random_programs(source):
+    plain = _serial(source, quiescence_ok=False, stop_at_first=False)
+    for jobs in (1, 2):
+        par = ParallelExplorer(Machine(compile_source(source)), jobs=jobs,
+                               quiescence_ok=False, stop_at_first=False,
+                               reduce="por,sym").explore()
+        assert par.ok == plain.ok, source
+        assert ({v.kind for v in par.violations}
+                == {v.kind for v in plain.violations}), source

@@ -1,0 +1,174 @@
+"""Reduction-differential suite: reduced exploration must prove the
+same things plain exploration proves.
+
+Partial-order reduction and symmetry canonicalization
+(:mod:`repro.verify.reduction`) change *which* states the verifier
+stores and *which* interleavings it expands; a bug in either one
+manifests as a silently missed violation — the worst possible failure
+mode for a verifier.  This suite is the soundness argument in
+executable form: for every program, plain exploration and each
+reduction mode (``por``, ``sym``, ``por,sym``) must agree on
+
+* the verdict (``result.ok``),
+* the *set* of violation kinds (reduction may legitimately merge
+  symmetric or commuting counterexamples, so violation counts and
+  specific traces may differ — the kinds may not), and
+* counterexample reality: every violation found in a reduced run must
+  replay, move description by move description, on a fresh unreduced
+  AST-walker machine and reproduce a violation of the same kind
+  (:func:`repro.verify.counterexample.replay_on_reference`).
+
+Three legs: the ``examples/esp`` corpus, the firmware-derived
+retransmission protocol at several window/message sizes, and 200
+derandomized hypothesis programs (``derandomize=True`` pins the
+corpus, so a failure shrinks to a minimal program).
+
+Debugging a divergence: re-run the failing program through
+``espc verify --reduce=<mode> --stats-json`` and see the "debugging a
+verdict divergence" recipe in docs/VERIFIER.md.
+
+The ``ESP_REDUCE`` environment variable restricts the mode list (CI
+runs one mode per matrix job): ``ESP_REDUCE=por`` checks plain-vs-por
+only.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Machine, compile_source
+from repro.verify.counterexample import replay_on_reference
+from repro.verify.environment import default_verification_bridges
+from repro.verify.explorer import Explorer
+from repro.vmmc.retransmission import build_machine, protocol_source
+from tests.strategies import esp_programs
+
+ESP_DIR = Path(__file__).resolve().parent.parent / "examples" / "esp"
+EXAMPLES = sorted(p.name for p in ESP_DIR.glob("*.esp"))
+assert EXAMPLES, "examples/esp corpus missing"
+
+ALL_MODES = ("por", "sym", "por,sym")
+MODES = tuple(os.environ.get("ESP_REDUCE", ";".join(ALL_MODES)).split(";"))
+
+# Identical caps on both sides keep the vmmc example affordable; a
+# capped run still yields a valid differential on everything explored.
+STATE_CAPS = {"vmmc.esp": 2_000}
+
+
+def _explore(program, reduce=None, max_states=None):
+    machine = Machine(program, externals=default_verification_bridges(program))
+    kwargs = {} if max_states is None else {"max_states": max_states}
+    return Explorer(machine, quiescence_ok=False, stop_at_first=False,
+                    reduce=reduce, **kwargs).explore()
+
+
+def _assert_equivalent(source, mode, plain, reduced, max_states=None,
+                       filename="<red-diff>"):
+    """The three-part contract: verdict, kind set, replayable traces."""
+    context = f"[reduce={mode}] {filename}"
+    assert reduced.ok == plain.ok, (
+        f"{context}: verdict diverged (plain ok={plain.ok}, "
+        f"reduced ok={reduced.ok})\nprogram:\n{source}"
+    )
+    plain_kinds = {v.kind for v in plain.violations}
+    reduced_kinds = {v.kind for v in reduced.violations}
+    assert reduced_kinds == plain_kinds, (
+        f"{context}: violation kinds diverged "
+        f"({plain_kinds} vs {reduced_kinds})\nprogram:\n{source}"
+    )
+    if plain.complete and reduced.complete:
+        # Reduction only ever merges or skips states, never invents
+        # them, so a completed reduced run stores at most as many.
+        assert reduced.states <= plain.states, (
+            f"{context}: reduced run stored MORE states "
+            f"({reduced.states} > {plain.states})"
+        )
+    for violation in reduced.violations:
+        program = compile_source(source, filename)
+        reproduced = replay_on_reference(program, violation,
+                                         quiescence_ok=False)
+        assert reproduced.kind == violation.kind, (
+            f"{context}: counterexample replayed to "
+            f"{reproduced.kind!r}, reduced run reported "
+            f"{violation.kind!r}\nprogram:\n{source}"
+        )
+
+
+def _differential(source, mode, max_states=None, filename="<red-diff>"):
+    plain = _explore(compile_source(source, filename), None, max_states)
+    reduced = _explore(compile_source(source, filename), mode, max_states)
+    _assert_equivalent(source, mode, plain, reduced, max_states, filename)
+
+
+# -- leg 1: the examples corpus ------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_examples_reduction_differential(example, mode):
+    source = (ESP_DIR / example).read_text()
+    _differential(source, mode, STATE_CAPS.get(example), example)
+
+
+# -- leg 2: the retransmission protocol family ---------------------------------
+#
+# The acceptance model: rendezvous-heavy, replicated senders, known
+# deadlock at quiescence (the protocol terminates), and the model the
+# 10x benchmark gate runs on.
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("window,messages", [(1, 2), (2, 3), (3, 4)])
+def test_retransmission_reduction_differential(window, messages, mode):
+    source = protocol_source(window, messages)
+    name = f"retransmission w{window}m{messages}"
+    plain = Explorer(build_machine(source), quiescence_ok=False,
+                     stop_at_first=False).explore()
+    reduced = Explorer(build_machine(source), quiescence_ok=False,
+                       stop_at_first=False, reduce=mode).explore()
+    _assert_equivalent(source, mode, plain, reduced, filename=name)
+
+
+# -- leg 3: random programs (pinned corpus, shrink-friendly) -------------------
+
+
+@settings(max_examples=200, deadline=None, derandomize=True)
+@given(esp_programs())
+def test_random_programs_reduction_differential(source):
+    # Generated over-waiting consumers deadlock; quiescence_ok=False
+    # turns those into violations, so the deadlock verdict — the thing
+    # an unsound ample set is most likely to lose — is part of the
+    # contract on every generated program.
+    for mode in MODES:
+        _differential(source, mode)
+
+
+# -- the expanded-vs-pruned reporting fix --------------------------------------
+
+
+def test_summary_reports_expanded_vs_pruned_separately():
+    # Regression for the reporting half of the reduction work: before,
+    # `summary()` printed one conflated transition count, so reduction
+    # wins (and bugs) were invisible.  The pruned count must appear in
+    # the summary and in the stats dict that --stats-json serialises.
+    source = protocol_source(2, 3)
+    result = Explorer(build_machine(source), quiescence_ok=False,
+                      stop_at_first=False, reduce="por,sym").explore()
+    assert result.transitions_pruned > 0
+    summary = result.summary()
+    assert f"{result.transitions} transitions expanded" in summary
+    assert f"({result.transitions_pruned} pruned)" in summary
+    reduction = result.stats["reduction"]
+    assert reduction["transitions_pruned"] == result.transitions_pruned
+    assert reduction["modes"] == "por,sym"
+    for counter in ("ample_hits", "chained", "sym_collisions"):
+        assert counter in reduction, counter
+
+    plain = Explorer(build_machine(source), quiescence_ok=False,
+                     stop_at_first=False).explore()
+    assert plain.transitions_pruned == 0
+    assert "(0 pruned)" in plain.summary()

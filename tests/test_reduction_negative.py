@@ -1,0 +1,184 @@
+"""Negative tests for the reduction layer: reduction must never mask
+a violation.
+
+The differential suite (test_reduction_differential.py) checks
+agreement on whatever a program happens to do; this file seeds
+programs that *definitely* violate — the BUGGY_VARIANTS protocol
+bugs, hand-written assertion / deadlock / leak programs, and a model
+built specifically to trip the classic unsound-ample-set failure
+(C3's "ignoring a transition forever" case) — and asserts every
+reduction mode still convicts them, with a counterexample that
+replays on the unreduced reference walker.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, compile_source
+from repro.verify import verify_process
+from repro.verify.counterexample import replay_on_reference
+from repro.verify.environment import default_verification_bridges
+from repro.verify.explorer import Explorer
+from repro.vmmc.retransmission import BUGGY_VARIANTS, buggy_source, build_machine
+
+MODES = ("por", "sym", "por,sym")
+
+
+def _convicted(source, mode, quiescence_ok=False):
+    """Explore with a reduction mode; return the result, asserting it
+    found at least one violation whose counterexample replays."""
+    result = Explorer(build_machine(source), quiescence_ok=quiescence_ok,
+                      stop_at_first=False, reduce=mode).explore()
+    assert not result.ok, f"reduce={mode} masked the violation"
+    for violation in result.violations:
+        reproduced = replay_on_reference(compile_source(source), violation,
+                                         quiescence_ok=quiescence_ok)
+        assert reproduced.kind == violation.kind
+    return result
+
+
+# -- seeded protocol bugs ------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("bug", sorted(BUGGY_VARIANTS))
+def test_seeded_protocol_bug_survives_reduction(bug, mode):
+    source = buggy_source(bug)
+    plain = Explorer(build_machine(source), quiescence_ok=True,
+                     stop_at_first=False).explore()
+    assert not plain.ok, f"seeded {bug} not detected even unreduced"
+    reduced = _convicted(source, mode, quiescence_ok=True)
+    assert ({v.kind for v in reduced.violations}
+            == {v.kind for v in plain.violations}), (bug, mode)
+
+
+# -- hand-written violating programs -------------------------------------------
+
+ASSERTION_PROGRAM = """
+channel c: int
+process producer { out( c, 1); out( c, 2); }
+process checker { in( c, $x); in( c, $y); assert( x + y < 3); }
+"""
+
+DEADLOCK_PROGRAM = """
+channel a: int
+channel b: int
+process left { in( a, $x); out( b, x); }
+process right { in( b, $y); out( a, y); }
+"""
+
+# Interchangeable senders racing to a shared assertion: the three
+# tickers are textually identical (true symmetry replicas — out-side
+# only, so ESP's one-pattern-per-process rule allows them), and the
+# sym canonicalizer may merge their permuted states, but it must keep
+# the interleaving where the bound is exceeded.
+REPLICA_ASSERT_PROGRAM = """
+channel tally: int
+process t0 { out( tally, 1); }
+process t1 { out( tally, 1); }
+process t2 { out( tally, 1); }
+process boss {
+    $n = 0;
+    while (n < 3) { in( tally, $d); n = n + d; }
+    assert( n < 3);
+}
+"""
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_assertion_survives_reduction(mode):
+    result = _convicted(ASSERTION_PROGRAM, mode)
+    assert {v.kind for v in result.violations} == {"assertion"}
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_deadlock_survives_reduction(mode):
+    result = _convicted(DEADLOCK_PROGRAM, mode)
+    assert {v.kind for v in result.violations} == {"deadlock"}
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_replica_assertion_survives_reduction(mode):
+    result = _convicted(REPLICA_ASSERT_PROGRAM, mode)
+    assert "assertion" in {v.kind for v in result.violations}
+
+
+# -- leaks under reduction (per-process machines) ------------------------------
+
+LEAKY_WORKER = """
+type dataT = array of int
+channel inC: record of { ret: int, data: dataT }
+channel outC: dataT
+process worker {
+    while (true) {
+        in( inC, { $ret, $d });
+        out( outC, d);
+    }
+}
+process peer { in( outC, $x); unlink( x); }
+"""
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_leak_survives_reduction(mode):
+    # Symmetry's live-variable projection drops dead scalar slots but
+    # must never drop a slot holding a heap reference — that is what
+    # keeps the leaked object distinguishable from freed garbage.
+    report = verify_process(LEAKY_WORKER, "worker", max_objects=10,
+                            reduce=mode)
+    assert not report.ok, f"reduce={mode} masked the leak"
+    assert report.result.violations[0].kind == "memory"
+    assert "object table exhausted" in report.result.violations[0].message
+
+
+# -- the cycle proviso (C3) ----------------------------------------------------
+#
+# The canonical unsoundness of ample sets without a cycle proviso:
+# two processes ping-pong forever (a cycle of states, each offering a
+# small "harmless" ample set), while a third process holds the only
+# transition that reaches an assertion failure.  A selector that keeps
+# choosing the ping-pong ample around the cycle postpones the fatal
+# transition at every state of the cycle — forever.  C1/C2 are
+# satisfied at every single state; only C3 (here: dynamic repair on
+# back-edges into the DFS stack) forces one full expansion per cycle
+# and finds the bug.
+
+CYCLE_TRAP_PROGRAM = """
+channel ping: int
+channel pong: int
+channel fire: int
+process spinner { while (true) { out( ping, 0); in( pong, $x); } }
+process echo    { while (true) { in( ping, $y); out( pong, y); } }
+process trigger { out( fire, 1); }
+process bomb    { in( fire, $v); assert( v == 0); }
+"""
+
+
+def test_cycle_proviso_trap_plain():
+    machine = Machine(compile_source(CYCLE_TRAP_PROGRAM))
+    result = Explorer(machine, stop_at_first=False).explore()
+    assert {v.kind for v in result.violations} == {"assertion"}
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_cycle_proviso_trap_survives_reduction(mode):
+    machine = Machine(compile_source(CYCLE_TRAP_PROGRAM))
+    result = Explorer(machine, stop_at_first=False, reduce=mode).explore()
+    assert {v.kind for v in result.violations} == {"assertion"}, (
+        f"reduce={mode} ignored the fatal transition around the cycle"
+    )
+    for violation in result.violations:
+        reproduced = replay_on_reference(compile_source(CYCLE_TRAP_PROGRAM),
+                                         violation)
+        assert reproduced.kind == "assertion"
+
+
+def test_cycle_proviso_repairs_are_exercised():
+    # The trap must actually stress C3: the por run on the ping-pong
+    # cycle has to take at least one back-edge repair or in-chain
+    # forced expansion, otherwise the test isn't testing the proviso.
+    machine = Machine(compile_source(CYCLE_TRAP_PROGRAM))
+    result = Explorer(machine, stop_at_first=False, reduce="por").explore()
+    reduction = result.stats["reduction"]
+    assert reduction["c3_repairs"] + reduction["c3_forced"] > 0, reduction
