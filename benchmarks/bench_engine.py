@@ -16,15 +16,21 @@ pattern dispatchers — and this benchmark is its performance contract:
   one-way windowed bandwidth, bidirectional bandwidth), each with a
   per-message checksum loop standing in for the firmware's per-packet
   work.  Gate: the compiled engine moves >= 3x messages/sec.
+* **native engine** — the same Fig. 5 workloads through the C shared
+  object (``--engine native``): generated C is compiled once, cached
+  content-addressed, and whole scheduler quanta run inside the .so.
+  Gates: native >= 50x messages/sec over the AST walker, and a warm
+  cache makes machine construction (codegen + cache probe + dlopen,
+  no compiler) take < 100 ms.
 
-Both engines must also agree *exactly* on states, transitions,
+All engines must also agree *exactly* on states, transitions,
 transfers, and instruction counts — a benchmark run doubles as a
 coarse conformance check (the fine-grained one is
 tests/test_engine_differential.py).
 
 Results are written to ``BENCH_engine.json`` (keyed by mode, like
 BENCH_verify.json).  ``ESP_BENCH_SMOKE=1`` runs scaled-down models;
-the 3x gates apply only to the full-size run, where stretch work
+the speedup gates apply only to the full-size run, where stretch work
 dominates timing noise.
 """
 
@@ -33,16 +39,21 @@ import os
 import pathlib
 import time
 
+import pytest
+
 from benchmarks.harness import Table
 from repro.api import compile_source
-from repro.runtime.machine import ENGINES, Machine
-from repro.runtime.scheduler import Scheduler
+from repro.backends.c.build import find_cc
+from repro.runtime.machine import ENGINES, Machine, create_machine
+from repro.runtime.scheduler import Scheduler, create_scheduler
 from repro.verify.explorer import Explorer
 
 _SMOKE = bool(os.environ.get("ESP_BENCH_SMOKE"))
 _BENCH_PATH = pathlib.Path(__file__).with_name("BENCH_engine.json")
 
 MIN_SPEEDUP = 3.0
+NATIVE_MIN_SPEEDUP = 50.0
+CACHE_HIT_BUDGET_SECONDS = 0.100
 _REPEATS = 1 if _SMOKE else 2
 
 # Inner loop standing in for per-packet firmware work (checksum over
@@ -300,3 +311,82 @@ def test_fig5_throughput_gate():
     table.show()
     _write_rows("fig5", rows)
     assert not failures, f"speedup below {MIN_SPEEDUP}x: {failures}"
+
+
+def _timed_run(machine):
+    scheduler = create_scheduler(machine)
+    start = time.perf_counter()
+    result = scheduler.run(max_transfers=10_000_000)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def test_fig5_native_gate():
+    if find_cc() is None:
+        pytest.skip("no C compiler available")
+    table = Table(
+        "Fig. 5 message throughput: native .so vs. AST and compiled",
+        ["workload", "messages", "ast msg/s", "native msg/s",
+         "vs ast", "vs compiled"],
+    )
+    rows = {}
+    failures = []
+    for name, source in _fig5_workloads().items():
+        program = compile_source(source)
+        per_engine = {}
+        shape = {}
+        for engine in ("ast", "compiled", "native"):
+            best = 0.0
+            for _ in range(_REPEATS):  # best-of-N damps scheduler noise
+                machine = create_machine(program, engine=engine)
+                result, elapsed = _timed_run(machine)
+                assert result.reason == "done", (name, engine, result.reason)
+                best = max(best, result.transfers / max(elapsed, 1e-9))
+                shape[engine] = (result.transfers, result.instructions)
+            per_engine[engine] = best
+        # All three engines ran the identical execution; the ratios are
+        # pure interpretation/compilation speed.
+        assert shape["ast"] == shape["compiled"] == shape["native"], (
+            name, shape)
+        speedup = per_engine["native"] / per_engine["ast"]
+        vs_compiled = per_engine["native"] / per_engine["compiled"]
+        rows[name] = dict(
+            messages=shape["native"][0],
+            instructions=shape["native"][1],
+            ast_messages_per_sec=round(per_engine["ast"], 1),
+            compiled_messages_per_sec=round(per_engine["compiled"], 1),
+            native_messages_per_sec=round(per_engine["native"], 1),
+            native_speedup=round(speedup, 2),
+            native_vs_compiled=round(vs_compiled, 2),
+        )
+        table.add(name, shape["native"][0], int(per_engine["ast"]),
+                  int(per_engine["native"]), f"{speedup:.0f}x",
+                  f"{vs_compiled:.1f}x")
+        if not _SMOKE and speedup < NATIVE_MIN_SPEEDUP:
+            failures.append((name, speedup))
+    table.note(f"gate: native >= {NATIVE_MIN_SPEEDUP}x messages/sec vs ast "
+               f"({'advisory in smoke mode' if _SMOKE else 'enforced'})")
+    table.show()
+    _write_rows("fig5_native", rows)
+    assert not failures, f"native speedup below {NATIVE_MIN_SPEEDUP}x: {failures}"
+
+
+def test_native_cache_hit_gate():
+    """Warm-cache load must skip the compiler entirely: constructing a
+    second machine for an already-built program (codegen + sha256 probe
+    + dlopen) has to land well under the cost of a cc invocation."""
+    if find_cc() is None:
+        pytest.skip("no C compiler available")
+    source = _fig5_workloads()[next(iter(_fig5_workloads()))]
+    program = compile_source(source)
+    create_machine(program, engine="native")  # populate the cache
+    start = time.perf_counter()
+    machine = create_machine(program, engine="native")
+    elapsed = time.perf_counter() - start
+    assert machine.cache_hit, "second build missed the content-addressed cache"
+    rows = {"cache_hit_load_seconds": round(elapsed, 4),
+            "budget_seconds": CACHE_HIT_BUDGET_SECONDS}
+    _write_rows("native_cache", rows)
+    assert elapsed < CACHE_HIT_BUDGET_SECONDS, (
+        f"cached native load took {elapsed * 1000:.1f} ms "
+        f"(budget {CACHE_HIT_BUDGET_SECONDS * 1000:.0f} ms)")

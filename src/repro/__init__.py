@@ -20,6 +20,8 @@ from repro.runtime import (
     Machine,
     QueueWriter,
     Scheduler,
+    create_machine,
+    create_scheduler,
     run_program,
 )
 
@@ -31,6 +33,8 @@ __all__ = [
     "OptLevel",
     "Machine",
     "Scheduler",
+    "create_machine",
+    "create_scheduler",
     "run_program",
     "QueueWriter",
     "CollectorReader",

@@ -1,5 +1,11 @@
-"""The C backend: whole-program compilation to a single C file (§6.1)."""
+"""The C backend: whole-program compilation to a single C file (§6.1).
 
-from repro.backends.c.codegen import CCodegen, generate_c
+Two consumers: ``espc emit-c`` emits the standalone firmware file
+(``generate_c``), and the native engine compiles the same code with
+``-DESP_NATIVE`` plus a host manifest (``generate_native``, loaded by
+:mod:`repro.runtime.native` via :mod:`repro.backends.c.build`).
+"""
 
-__all__ = ["CCodegen", "generate_c"]
+from repro.backends.c.codegen import CCodegen, generate_c, generate_native
+
+__all__ = ["CCodegen", "generate_c", "generate_native"]

@@ -14,13 +14,21 @@ from repro.runtime.machine import (
     ExternalDeliver,
     Machine,
     Rendezvous,
+    create_machine,
 )
-from repro.runtime.scheduler import RunResult, Scheduler, run_program
+from repro.runtime.scheduler import (
+    RunResult,
+    Scheduler,
+    create_scheduler,
+    run_program,
+)
 from repro.runtime.values import HeapObject, Ref
 
 __all__ = [
     "Machine",
     "Scheduler",
+    "create_machine",
+    "create_scheduler",
     "RunResult",
     "run_program",
     "Heap",

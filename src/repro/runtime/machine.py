@@ -130,20 +130,62 @@ def _pid_of(ps: ProcessState) -> int:
     return ps.pid
 
 
-#: Valid execution engines: the closure-compiled handler tables
-#: (default, :mod:`repro.runtime.compile`) and the AST-walking
-#: reference oracle (:mod:`repro.runtime.interp`).
+#: Execution engines this class implements in Python: the
+#: closure-compiled handler tables (default,
+#: :mod:`repro.runtime.compile`) and the AST-walking reference oracle
+#: (:mod:`repro.runtime.interp`).
 ENGINES = ("compiled", "ast")
+
+#: Every selectable engine, including the shared-object native engine
+#: (:mod:`repro.runtime.native`), which :func:`create_machine`
+#: dispatches to a different machine class.
+ALL_ENGINES = ("compiled", "ast", "native")
 
 
 def _resolve_engine(engine: str | None) -> str:
     if engine is None:
         engine = os.environ.get("ESP_ENGINE") or ENGINES[0]
+    if engine == "native":
+        raise ValueError(
+            "the native engine runs through a different machine class; "
+            "construct it with repro.runtime.machine.create_machine "
+            "(or the --engine flag), not Machine(engine='native')"
+        )
     if engine not in ENGINES:
         raise ValueError(
-            f"unknown engine {engine!r}; expected one of {ENGINES}"
+            f"unknown engine {engine!r}; expected one of {ALL_ENGINES}"
         )
     return engine
+
+
+def create_machine(
+    program: ir.IRProgram,
+    externals=None,
+    max_objects: int | None = None,
+    print_handler=None,
+    engine: str | None = None,
+):
+    """Engine-dispatching machine factory: ``compiled``/``ast`` build a
+    :class:`Machine`, ``native`` builds a
+    :class:`repro.runtime.native.NativeMachine` (compiling the
+    generated C on first use — imported lazily so the Python engines
+    never touch the toolchain).  ``engine=None`` consults
+    ``ESP_ENGINE`` and falls back to the default; auto-selection never
+    silently picks native."""
+    if engine is None:
+        engine = os.environ.get("ESP_ENGINE") or ENGINES[0]
+    if engine == "native":
+        from repro.runtime.native import NativeMachine
+
+        return NativeMachine(program, externals=externals,
+                             max_objects=max_objects,
+                             print_handler=print_handler)
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ALL_ENGINES}"
+        )
+    return Machine(program, externals=externals, max_objects=max_objects,
+                   print_handler=print_handler, engine=engine)
 
 
 class Machine:

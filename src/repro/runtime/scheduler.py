@@ -122,6 +122,18 @@ class Scheduler:
             machine.apply(self.pick(moves))
 
 
+def create_scheduler(machine, policy: str = "stack", seed: int = 0):
+    """Scheduler factory matching :func:`create_machine`: a
+    :class:`NativeMachine` gets the quantum-batched
+    :class:`repro.runtime.native.NativeScheduler`, everything else the
+    per-move :class:`Scheduler` — both with identical pick policies."""
+    if getattr(machine, "is_native", False):
+        from repro.runtime.native import NativeScheduler
+
+        return NativeScheduler(machine, policy=policy, seed=seed)
+    return Scheduler(machine, policy=policy, seed=seed)
+
+
 def run_program(
     program,
     externals=None,

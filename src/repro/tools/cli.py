@@ -24,6 +24,7 @@ duplicated, or reordered.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 
@@ -33,9 +34,10 @@ from repro.api import compile_source_with_stats
 from repro.backends.c import generate_c
 from repro.backends.spin import generate_promela
 from repro.errors import ESPError
+from repro.backends.c.build import NativeBuildError, NativeBuildUnavailable
+from repro.runtime.machine import ALL_ENGINES, Machine, create_machine
 from repro.lang.program import frontend
-from repro.runtime.machine import ENGINES, Machine
-from repro.runtime.scheduler import Scheduler
+from repro.runtime.scheduler import create_scheduler
 from repro.verify.environment import default_verification_bridges
 from repro.verify.explorer import Explorer
 from repro.verify.memsafety import verify_process
@@ -84,63 +86,99 @@ def cmd_emit_spin(args) -> int:
     return 0
 
 
-def _select_engine(args) -> None:
-    """Make ``--engine`` reach every Machine the command constructs.
+@contextlib.contextmanager
+def _select_engine(args):
+    """Make ``--engine`` reach every machine the command constructs.
 
     Some commands build machines deep inside library code (the sim
     firmware, the per-process memory-safety harness); rather than
     thread a parameter through each layer, the flag is exported as
-    ``ESP_ENGINE``, which ``Machine`` consults when no explicit engine
-    is passed — and which forked verifier workers inherit.
+    ``ESP_ENGINE``, which the machine factory consults when no explicit
+    engine is passed — and which forked verifier workers inherit.  The
+    variable is scoped to the command: on exit the previous value (or
+    absence) is restored, so one ``espc`` invocation used as a library
+    call cannot permanently flip the engine for the whole process.
     """
-    if getattr(args, "engine", None):
-        os.environ["ESP_ENGINE"] = args.engine
+    engine = getattr(args, "engine", None)
+    if not engine:
+        yield
+        return
+    previous = os.environ.get("ESP_ENGINE")
+    os.environ["ESP_ENGINE"] = engine
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("ESP_ENGINE", None)
+        else:
+            os.environ["ESP_ENGINE"] = previous
+
+
+def _check_engine_env() -> None:
+    """Reject an unknown ``ESP_ENGINE`` with a one-line diagnostic
+    before it surfaces as a deep ValueError inside library code."""
+    engine = os.environ.get("ESP_ENGINE")
+    if engine and engine not in ALL_ENGINES:
+        raise ESPError(
+            f"unknown ESP_ENGINE value {engine!r}; expected one of "
+            f"{', '.join(ALL_ENGINES)}"
+        )
 
 
 def cmd_run(args) -> int:
-    _select_engine(args)
-    program, _stats, _front = compile_source_with_stats(_read(args.file), args.file)
-    machine = Machine(program, engine=args.engine, print_handler=lambda name, values: print(
-        f"{name}:", *values
-    ))
-    result = Scheduler(machine, policy=args.policy).run(
-        max_transfers=args.max_transfers
-    )
+    with _select_engine(args):
+        _check_engine_env()
+        program, _stats, _front = compile_source_with_stats(
+            _read(args.file), args.file
+        )
+        machine = create_machine(
+            program, engine=args.engine,
+            print_handler=lambda name, values: print(f"{name}:", *values),
+        )
+        result = create_scheduler(machine, policy=args.policy).run(
+            max_transfers=args.max_transfers
+        )
     print(f"[{result.reason}] {result.transfers} transfer(s), "
           f"{result.instructions} instruction(s)")
     return 0
 
 
 def cmd_verify(args) -> int:
-    _select_engine(args)
-    reduce = None if args.reduce in (None, "none") else args.reduce
-    if args.process:
-        report = verify_process(_read(args.file), args.process,
-                                max_states=args.max_states, jobs=args.jobs,
-                                reduce=reduce)
-        print(report.summary())
-        ok = report.ok
-        result = report.result
-        violations = result.violations
-    else:
-        program, _stats, _front = compile_source_with_stats(
-            _read(args.file), args.file
+    if (args.engine or os.environ.get("ESP_ENGINE")) == "native":
+        raise ESPError(
+            "the native engine does not support verification "
+            "(no snapshot/restore); use --engine compiled"
         )
-        machine = Machine(
-            program, externals=default_verification_bridges(program),
-            engine=args.engine,
-        )
-        if args.jobs is None:
-            explorer = Explorer(machine, max_states=args.max_states,
-                                reduce=reduce)
+    with _select_engine(args):
+        _check_engine_env()
+        reduce = None if args.reduce in (None, "none") else args.reduce
+        if args.process:
+            report = verify_process(_read(args.file), args.process,
+                                    max_states=args.max_states, jobs=args.jobs,
+                                    reduce=reduce)
+            print(report.summary())
+            ok = report.ok
+            result = report.result
+            violations = result.violations
         else:
-            explorer = ParallelExplorer(machine, jobs=args.jobs,
-                                        max_states=args.max_states,
-                                        reduce=reduce)
-        result = explorer.explore()
-        print(result.summary())
-        ok = result.ok
-        violations = result.violations
+            program, _stats, _front = compile_source_with_stats(
+                _read(args.file), args.file
+            )
+            machine = Machine(
+                program, externals=default_verification_bridges(program),
+                engine=args.engine,
+            )
+            if args.jobs is None:
+                explorer = Explorer(machine, max_states=args.max_states,
+                                    reduce=reduce)
+            else:
+                explorer = ParallelExplorer(machine, jobs=args.jobs,
+                                            max_states=args.max_states,
+                                            reduce=reduce)
+            result = explorer.explore()
+            print(result.summary())
+            ok = result.ok
+            violations = result.violations
     for violation in violations:
         print(violation)
     if args.stats_json:
@@ -179,7 +217,6 @@ def cmd_sim(args) -> int:
     from repro.sim.faults import FaultPlan
     from repro.vmmc.retransmission import run_over_faulty_link
 
-    _select_engine(args)
     plan = None
     if args.faults:
         try:
@@ -187,15 +224,17 @@ def cmd_sim(args) -> int:
         except ValueError as err:
             print(f"espc: error: {err}", file=sys.stderr)
             return 2
-    report = run_over_faulty_link(
-        messages=args.messages,
-        messages_back=args.messages if args.bidirectional else 0,
-        plan=plan,
-        window=args.window,
-        chunk_bytes=args.chunk_bytes,
-        timeout_us=args.timeout_us,
-        deadline_us=args.deadline_us,
-    )
+    with _select_engine(args):
+        _check_engine_env()
+        report = run_over_faulty_link(
+            messages=args.messages,
+            messages_back=args.messages if args.bidirectional else 0,
+            plan=plan,
+            window=args.window,
+            chunk_bytes=args.chunk_bytes,
+            timeout_us=args.timeout_us,
+            deadline_us=args.deadline_us,
+        )
     ok = report.converged and report.exactly_once_in_order()
     if args.stats_json:
         import json
@@ -242,11 +281,13 @@ def _write_out(path: str | None, text: str) -> None:
 
 def _add_engine_flag(p: argparse.ArgumentParser) -> None:
     p.add_argument(
-        "--engine", choices=ENGINES, default=None,
+        "--engine", choices=ALL_ENGINES, default=None,
         help="execution engine: 'compiled' lowers each process to a "
              "table of closures (default); 'ast' walks the instruction "
-             "tree directly and serves as the reference semantics "
-             "(see docs/ENGINE.md)",
+             "tree directly and serves as the reference semantics; "
+             "'native' compiles the generated C to a shared object and "
+             "runs it in-process (requires a C compiler; not available "
+             "for verify) — see docs/ENGINE.md",
     )
 
 
@@ -360,6 +401,9 @@ def main(argv: list[str] | None = None) -> int:
         return args.fn(args)
     except ESPError as err:
         print(f"espc: error: {_diagnose(err)}", file=sys.stderr)
+        return 2
+    except (NativeBuildUnavailable, NativeBuildError) as err:
+        print(f"espc: error: {err}", file=sys.stderr)
         return 2
     except FileNotFoundError as err:
         print(f"espc: error: {err}", file=sys.stderr)

@@ -34,8 +34,8 @@ from __future__ import annotations
 from repro.api import compile_source
 from repro.ir.nodes import IRProgram
 from repro.runtime.external import CallbackReader, QueueWriter
-from repro.runtime.machine import Machine
-from repro.runtime.scheduler import Scheduler
+from repro.runtime.machine import create_machine
+from repro.runtime.scheduler import create_scheduler
 from repro.sim.nic import FirmwareAction, FirmwareBase, FirmwareInput
 from repro.sim.timing import CostModel, CycleCounter
 from repro.vmmc.packets import ACK, DATA, ack_packet, data_packet
@@ -239,8 +239,11 @@ class EspMachineFirmware(FirmwareBase):
         self._actions: list[FirmwareAction] = []
 
     def _attach_machine(self, program: IRProgram, externals: dict) -> None:
-        self.machine = Machine(program, externals=externals)
-        self.scheduler = Scheduler(self.machine, policy="stack")
+        # Factory-constructed so ESP_ENGINE (including "native") selects
+        # the engine the firmware runs on — espc sim threads --engine
+        # through exactly this path.
+        self.machine = create_machine(program, externals=externals)
+        self.scheduler = create_scheduler(self.machine, policy="stack")
         self._baseline_counts = self._counts()
 
     def _post(self, inp: FirmwareInput) -> None:

@@ -10,15 +10,18 @@ states (PCs + locals + heap), runtime errors, deadlock verdicts, and
 verifier state/transition counts.  Any divergence is a bug in the
 compiled engine by definition.
 
-Three legs:
+Four legs:
 
 * every program in ``examples/esp`` (execution + verification),
 * random well-typed programs from :func:`tests.strategies.esp_programs`
   (``derandomize=True`` pins the corpus, so failures are reproducible
   and shrink to minimal programs),
+* the same two corpora against the *loaded* native engine — the C
+  backend compiled to a shared object and driven through the batched
+  quantum protocol (``--engine native``),
 * the C backend's semantics model: the generated firmware binary from
-  ``test_differential`` must agree with *both* engines on the same
-  input scripts (three-way agreement).
+  ``test_differential`` must agree with every engine on the same
+  input scripts (four-way agreement).
 
 Debugging a divergence: re-run the failing program with
 ``--engine ast`` (or ``ESP_ENGINE=ast``) to confirm which side moved;
@@ -33,8 +36,17 @@ from pathlib import Path
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import CollectorReader, Machine, QueueWriter, Scheduler, compile_source
+from repro import (
+    CollectorReader,
+    Machine,
+    QueueWriter,
+    Scheduler,
+    compile_source,
+    create_machine,
+    create_scheduler,
+)
 from repro.backends.c import generate_c
+from repro.backends.c.build import find_cc
 from repro.errors import ESPError
 from repro.runtime.machine import ENGINES
 from repro.verify.environment import default_verification_bridges
@@ -53,6 +65,18 @@ STATE_CAPS = {"vmmc.esp": 2_000}
 TRANSFER_CAP = 2_000
 
 assert EXAMPLES, "examples/esp corpus missing"
+
+needs_cc = pytest.mark.skipif(find_cc() is None,
+                              reason="no C compiler available")
+
+# The native engine batches whole quanta inside the shared object, so
+# it does not expose snapshot/restore (no verifier leg) or a canonical
+# Python heap image (no final_state); everything else is held to exact
+# agreement with the AST walker.  On error outcomes the run stops at a
+# point mid-quantum where Python-side bookkeeping counters are not
+# meaningful, so only the trace and the error itself are compared.
+_NATIVE_KEYS = ("trace", "outcome", "statuses", "counters", "heap_events")
+_NATIVE_ERROR_KEYS = ("trace", "outcome")
 
 
 def _execution_fingerprint(source: str, engine: str, filename: str = "<diff>"):
@@ -141,7 +165,7 @@ def test_examples_verifier_parity(example):
 # -- leg 2: random programs (pinned corpus, shrink-friendly) -------------------
 
 
-@settings(max_examples=100, deadline=None, derandomize=True)
+@settings(max_examples=200, deadline=None, derandomize=True)
 @given(esp_programs())
 def test_random_programs_execution_parity(source):
     fps = {engine: _execution_fingerprint(source, engine)
@@ -152,7 +176,7 @@ def test_random_programs_execution_parity(source):
         raise AssertionError(f"{err}\nprogram:\n{source}") from None
 
 
-@settings(max_examples=100, deadline=None, derandomize=True)
+@settings(max_examples=200, deadline=None, derandomize=True)
 @given(esp_programs())
 def test_random_programs_verifier_parity(source):
     # Generated over-waiting consumers deadlock; quiescence_ok=False in
@@ -166,7 +190,65 @@ def test_random_programs_verifier_parity(source):
         raise AssertionError(f"{err}\nprogram:\n{source}") from None
 
 
-# -- leg 3: three-way agreement with the C backend -----------------------------
+# -- leg 3: the loaded native engine -------------------------------------------
+
+
+def _native_fingerprint(source: str, filename: str = "<diff>"):
+    """The native engine's observable surface for one deterministic run
+    (same schedule as `_execution_fingerprint`, minus final_state)."""
+    program = compile_source(source, filename)
+    trace: list[tuple[str, tuple]] = []
+    machine = create_machine(
+        program,
+        externals=default_verification_bridges(program),
+        engine="native",
+        print_handler=lambda name, values: trace.append((name, tuple(values))),
+    )
+    try:
+        result = create_scheduler(machine).run(max_transfers=TRANSFER_CAP)
+        outcome = (result.reason, result.transfers, result.instructions)
+    except ESPError as err:
+        outcome = ("error", type(err).__name__, str(err))
+    c = machine.counters
+    return {
+        "trace": trace,
+        "outcome": outcome,
+        "statuses": tuple(ps.status.value for ps in machine.processes),
+        "counters": (c.instructions, c.context_switches, c.transfers,
+                     c.alt_blocks, c.matches, c.prints),
+        "heap_events": machine.heap.counters.snapshot(),
+    }
+
+
+def _assert_native_matches_ast(source: str, filename: str = "<diff>"):
+    ast = _execution_fingerprint(source, "ast", filename)
+    native = _native_fingerprint(source, filename)
+    keys = (_NATIVE_ERROR_KEYS if native["outcome"][0] == "error"
+            else _NATIVE_KEYS)
+    for key in keys:
+        assert native[key] == ast[key], (
+            f"native engine diverges from 'ast' on {key}: "
+            f"{native[key]!r} != {ast[key]!r}"
+        )
+
+
+@needs_cc
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_examples_native_parity(example):
+    _assert_native_matches_ast((ESP_DIR / example).read_text(), example)
+
+
+@needs_cc
+@settings(max_examples=200, deadline=None, derandomize=True)
+@given(esp_programs())
+def test_random_programs_native_parity(source):
+    try:
+        _assert_native_matches_ast(source)
+    except AssertionError as err:
+        raise AssertionError(f"{err}\nprogram:\n{source}") from None
+
+
+# -- leg 4: four-way agreement with the C backend ------------------------------
 
 
 @pytest.fixture(scope="module")
@@ -193,9 +275,10 @@ def _engine_outputs(script, engine):
             req.post("Compute", item[1], item[2])
         else:
             req.post("Reset", item[1])
-    machine = Machine(compile_source(PROGRAM),
-                      externals={"reqC": req, "outC": drain}, engine=engine)
-    Scheduler(machine).run()
+    machine = create_machine(compile_source(PROGRAM),
+                             externals={"reqC": req, "outC": drain},
+                             engine=engine)
+    create_scheduler(machine).run()
     return [args[0] for _, args in drain.received]
 
 
@@ -216,10 +299,13 @@ def _c_outputs(c_binary, script):
 
 @given(st.lists(script_items, min_size=0, max_size=12))
 @settings(max_examples=20, deadline=None, derandomize=True)
-def test_three_way_agreement(c_binary, script):
+def test_four_way_agreement(c_binary, script):
     ast = _engine_outputs(script, "ast")
     compiled = _engine_outputs(script, "compiled")
     assert compiled == ast, f"engines diverge on script {script}"
+    if find_cc() is not None:  # native leg degrades to three-way
+        native = _engine_outputs(script, "native")
+        assert native == ast, f"native engine diverges on script {script}"
     assert _c_outputs(c_binary, script) == ast, (
         f"C firmware diverges on script {script}"
     )

@@ -23,6 +23,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.backends.c.build import find_cc
 from repro.sim.faults import FaultPlan
 from repro.vmmc.retransmission import run_over_faulty_link
 
@@ -65,6 +66,17 @@ def test_ast_engine_matches_golden(name, monkeypatch):
     # The reference engine still reproduces its own goldens — guards
     # against interpreter drift invalidating the files silently.
     monkeypatch.setenv("ESP_ENGINE", "ast")
+    golden = (GOLDEN_DIR / f"{name}.json").read_text()
+    assert _run(name) == golden
+
+
+@pytest.mark.parametrize("name", sorted(PLANS))
+@pytest.mark.skipif(find_cc() is None, reason="no C compiler available")
+def test_native_engine_matches_golden(name, monkeypatch):
+    # The loaded native engine (C shared object, batched quanta) must
+    # also reproduce the reference traces byte for byte — through the
+    # whole firmware + discrete-event simulation stack.
+    monkeypatch.setenv("ESP_ENGINE", "native")
     golden = (GOLDEN_DIR / f"{name}.json").read_text()
     assert _run(name) == golden
 
