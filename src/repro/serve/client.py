@@ -1,0 +1,146 @@
+"""The blocking JSON-lines client behind ``espc submit`` (and the
+tests/benchmarks).
+
+One connection, newline-delimited JSON both ways (docs/SERVE.md).
+:meth:`ServeClient.request` is strictly sequential; for load, use
+:meth:`submit_many`, which pipelines up to ``window`` requests with
+client-chosen ``rid`` tags and reassembles the (completion-ordered)
+responses back into submission order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+
+from repro.serve.keys import JobSpec
+
+
+class ServeError(RuntimeError):
+    """The daemon answered with ``ok: false`` (or not at all)."""
+
+    def __init__(self, reply: dict):
+        self.reply = reply
+        super().__init__(
+            f"{reply.get('kind', 'error')}: {reply.get('error', reply)}"
+        )
+
+
+def wait_for_server(socket_path: str | os.PathLike,
+                    timeout: float = 10.0) -> None:
+    """Block until the daemon accepts connections (startup handshake)."""
+    deadline = time.monotonic() + timeout
+    path = str(socket_path)
+    while True:
+        try:
+            with ServeClient(path) as client:
+                client.ping()
+            return
+        except (OSError, ServeError):
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"no espc serve daemon on {path} after {timeout:.0f}s"
+                )
+            time.sleep(0.02)
+
+
+class ServeClient:
+    """A blocking client for one daemon socket."""
+
+    def __init__(self, socket_path: str | os.PathLike,
+                 timeout: float | None = 300.0):
+        self.socket_path = str(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(self.socket_path)
+        self._reader = self._sock.makefile("rb")
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _send(self, body: dict) -> None:
+        blob = json.dumps(body) + "\n"
+        self._sock.sendall(blob.encode())
+
+    def _recv(self) -> dict:
+        line = self._reader.readline()
+        if not line:
+            raise ServeError({"kind": "disconnected",
+                              "error": "daemon closed the connection"})
+        return json.loads(line)
+
+    def request(self, body: dict) -> dict:
+        """One request, one response (no pipelining)."""
+        self._send(body)
+        return self._recv()
+
+    # -- operations ---------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def stats(self) -> dict:
+        reply = self.request({"op": "stats"})
+        if not reply.get("ok"):
+            raise ServeError(reply)
+        return reply["stats"]
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def submit(self, spec: JobSpec | dict, check: bool = False) -> dict:
+        """Submit one job and wait for its result envelope
+        (``{"ok", "result", "cached", "key", "ir_hash", ...}``).
+        ``check=True`` raises :class:`ServeError` on non-verdict
+        failures (compile errors still return normally — they *are*
+        the daemon's answer for that source)."""
+        body = spec.to_wire() if isinstance(spec, JobSpec) else dict(spec)
+        reply = self.request({"op": "submit", "spec": body})
+        if check and not reply.get("ok") and reply.get("kind") != "compile":
+            raise ServeError(reply)
+        return reply
+
+    def submit_many(self, specs, window: int = 64,
+                    with_timing: bool = False) -> list:
+        """Pipeline many jobs over this one connection; returns replies
+        in submission order.  ``window`` bounds how many are in flight
+        (backpressure against unbounded daemon-side queue growth from a
+        single client).  ``with_timing=True`` returns
+        ``(reply, seconds)`` pairs, where seconds is submit-to-reply
+        wall time including daemon queueing — the client-observed
+        latency the serve benchmark reports."""
+        specs = list(specs)
+        replies: dict[int, dict] = {}
+        sent_at: dict[int, float] = {}
+        latency: dict[int, float] = {}
+        sent = 0
+        while len(replies) < len(specs):
+            while sent < len(specs) and sent - len(replies) < window:
+                spec = specs[sent]
+                body = spec.to_wire() if isinstance(spec, JobSpec) else \
+                    dict(spec)
+                sent_at[sent] = time.monotonic()
+                self._send({"op": "submit", "spec": body, "rid": sent})
+                sent += 1
+            reply = self._recv()
+            rid = reply["rid"]
+            latency[rid] = time.monotonic() - sent_at.pop(rid)
+            replies[rid] = reply
+        if with_timing:
+            return [(replies[i], latency[i]) for i in range(len(specs))]
+        return [replies[i] for i in range(len(specs))]
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,305 @@
+"""Content-addressed cache keys for verification jobs.
+
+A verification result is a pure function of the *lowered program* and
+the exploration parameters, so repeat submissions can be answered from
+a cache keyed by ``(canonical-IR hash, property set, reduce modes,
+depth/engine bounds)`` — the same content-addressed discipline
+:mod:`repro.backends.c.build` applies to native artifacts.
+
+The canonical-IR encoding deliberately ignores everything that cannot
+change the explored state graph:
+
+* **formatting and comments** — erased by the frontend; two sources
+  that parse to the same program hash identically;
+* **local variable names** — every local (and pattern binder) is
+  replaced by a de Bruijn-style index assigned at its first occurrence
+  in the process's final instruction stream, so alpha-renamed programs
+  hash identically (the checker's ``unique_name`` alpha-renaming gives
+  each binder a stable handle to number);
+* **source spans** — never encoded;
+* **optimizer-internal tables** — ``slot_of``/``canon_order`` are
+  derived from the instruction stream and skipped.
+
+Channel names, record field names, union tags, and interface entry
+names are *kept*: they are part of the program's external interface
+(messages and verdict text mention them).  Two jobs differing in any
+property, reduction mode, bound, or exploration engine *shape*
+(depth-first vs breadth-first) get different keys; the worker count of
+a parallel job is excluded because the parallel engine's results are
+byte-identical for every ``jobs`` value, as is the visited-store kind
+(collapse, plain, and disk stores are all exact).
+
+Caveat, documented in docs/SERVE.md: a cached result's violation text
+was rendered from the *first* submission's source, so an alpha-renamed
+resubmission that hits the cache sees counterexamples quoting the
+original spelling (spans and variable names may differ, verdicts and
+state counts never do).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from dataclasses import dataclass
+
+from repro.ir import nodes as ir
+from repro.ir.nodes import IRProgram
+from repro.lang import ast
+from repro.verify.state import pack_state
+
+# Bump when the canonical encoding (or anything that feeds the key)
+# changes shape: stale cache entries are then simply never hit again.
+KEY_VERSION = "esp-serve-key-1"
+
+_SKIPPED_FIELDS = frozenset({"span", "spans", "type"})
+
+# IRProcess fields derived from the instruction stream (or that only
+# name things): never part of the canonical encoding.
+_SKIPPED_PROC_FIELDS = frozenset(
+    {"name", "pid", "locals", "slot_of", "canon_order", "slots_resolved"}
+)
+
+
+class _VarNumbering:
+    """De Bruijn-style numbering: unique name -> first-occurrence index."""
+
+    __slots__ = ("ids",)
+
+    def __init__(self):
+        self.ids: dict[str, int] = {}
+
+    def id_of(self, name: str) -> int:
+        ids = self.ids
+        vid = ids.get(name)
+        if vid is None:
+            vid = len(ids)
+            ids[name] = vid
+        return vid
+
+
+def _var_handle(node) -> str:
+    """The checker's alpha-renamed handle for a binder/use (falls back
+    to the source name for nodes the checker never touched, e.g.
+    external-interface patterns)."""
+    unique = getattr(node, "unique_name", None)
+    return unique if unique is not None else node.name
+
+
+def _encode(obj, vids: _VarNumbering):
+    """A marshal-able canonical tree of one IR/AST/type value."""
+    if obj is None or isinstance(obj, (bool, int, str, bytes, float)):
+        return obj
+    if isinstance(obj, ast.Var):
+        return ("Var", vids.id_of(_var_handle(obj)))
+    if isinstance(obj, ast.PBind):
+        return ("PBind", vids.id_of(_var_handle(obj)))
+    if isinstance(obj, (list, tuple)):
+        return tuple(_encode(item, vids) for item in obj)
+    if isinstance(obj, dict):
+        return tuple(
+            sorted((_encode(k, vids), _encode(v, vids)) for k, v in obj.items())
+        )
+    if isinstance(obj, enum.Enum):
+        return (type(obj).__name__, obj.value)
+    if dataclasses.is_dataclass(obj):
+        cls = type(obj)
+        parts: list = [cls.__name__]
+        for f in dataclasses.fields(cls):
+            if f.name in _SKIPPED_FIELDS:
+                continue
+            parts.append(_encode(getattr(obj, f.name), vids))
+        return tuple(parts)
+    raise TypeError(
+        f"cannot canonically encode {type(obj).__name__!r} for a cache key"
+    )
+
+
+def _encode_instr(instr: ir.Instr, vids: _VarNumbering):
+    if isinstance(instr, ir.Decl):
+        # ``var`` is a bare unique name, not an ast.Var: number it here
+        # so a Decl's binder and its later uses share one id.
+        return (
+            "Decl",
+            vids.id_of(instr.var),
+            _encode(instr.expr, vids),
+            _encode(instr.var_type, vids),
+        )
+    return _encode(instr, vids)
+
+
+def _encode_process(proc: ir.IRProcess):
+    vids = _VarNumbering()
+    body = tuple(_encode_instr(instr, vids) for instr in proc.instrs)
+    extras: list = []
+    for f in dataclasses.fields(ir.IRProcess):
+        if f.name in _SKIPPED_PROC_FIELDS or f.name in ("instrs",):
+            continue
+        if f.name == "channel_bits":
+            # Bit positions are assignment-order artifacts; only the
+            # channel *set* matters (and it is implied by the body).
+            continue
+        extras.append((f.name, _encode(getattr(proc, f.name), vids)))
+    return ("proc", body, tuple(extras))
+
+
+def canonical_ir(program: IRProgram) -> tuple:
+    """The canonical tree of a lowered program (see module docstring)."""
+    channels = tuple(
+        sorted(
+            (name, _encode(info, _VarNumbering()))
+            for name, info in program.channels.items()
+        )
+    )
+    interfaces = tuple(
+        sorted(
+            (
+                channel,
+                tuple(
+                    sorted(
+                        (entry, _encode(pattern, _VarNumbering()))
+                        for entry, pattern in entries.items()
+                    )
+                ),
+            )
+            for channel, entries in program.interfaces.items()
+        )
+    )
+    consts = tuple(sorted(program.consts.items()))
+    procs = tuple(_encode_process(p) for p in program.processes)
+    return (KEY_VERSION, procs, channels, interfaces, consts)
+
+
+def canonical_ir_bytes(program: IRProgram) -> bytes:
+    """Stable bytes of the canonical tree (marshal format 2, via
+    :func:`repro.verify.state.pack_state` — identical across runs and
+    processes)."""
+    return pack_state(canonical_ir(program))
+
+
+def canonical_ir_hash(program: IRProgram) -> str:
+    """Hex content address of the lowered program."""
+    return hashlib.sha256(canonical_ir_bytes(program)).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Job specifications
+# ---------------------------------------------------------------------------
+
+
+def normalize_reduce(reduce: str | None) -> str | None:
+    """Canonical spelling of a reduction spec ("por,sym" order-free)."""
+    if reduce in (None, "", "none"):
+        return None
+    modes = sorted({part.strip() for part in reduce.split(",") if part.strip()})
+    for mode in modes:
+        if mode not in ("por", "sym"):
+            raise ValueError(f"unknown reduce mode {mode!r}")
+    return ",".join(modes)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One verification request, as submitted over the wire.
+
+    ``parallel`` selects the sharded breadth-first engine (any worker
+    count — results are identical for every N, so N is not part of the
+    cache key; the *engine shape* is).  ``process`` switches to the
+    per-process memory-safety harness of §5.3, whose extra bounds
+    (``int_domain``, ``array_sizes``, ``max_objects``, ``env_budget``)
+    then join the key.  ``store`` picks the visited-store backend; all
+    backends are exact, so it is excluded from the key.
+    """
+
+    source: str
+    filename: str = "<esp>"
+    process: str | None = None
+    max_states: int | None = 200_000
+    max_depth: int | None = None
+    reduce: str | None = None
+    parallel: int | None = None
+    store: str = "collapse"
+    check_deadlock: bool = True
+    quiescence_ok: bool = True
+    int_domain: tuple[int, ...] = (0, 1)
+    array_sizes: tuple[int, ...] = (1,)
+    max_objects: int | None = 24
+    env_budget: int | None = None
+
+    def properties(self) -> tuple[str, ...]:
+        """The property set this job checks, for the cache key."""
+        props = ["safety"]
+        if self.check_deadlock:
+            props.append("deadlock" + ("" if self.quiescence_ok
+                                       else "-strict"))
+        if self.process is not None:
+            props.append("memory")
+        return tuple(sorted(props))
+
+    def engine_shape(self) -> str:
+        return "bfs" if self.parallel is not None else "dfs"
+
+    def to_wire(self) -> dict:
+        """The JSON-able request body (tuples become lists)."""
+        body = dataclasses.asdict(self)
+        body["int_domain"] = list(self.int_domain)
+        body["array_sizes"] = list(self.array_sizes)
+        return body
+
+    @classmethod
+    def from_wire(cls, body: dict) -> "JobSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(body) - known
+        if unknown:
+            raise ValueError(f"unknown job fields: {sorted(unknown)}")
+        if "source" not in body:
+            raise ValueError("job is missing 'source'")
+        kwargs = dict(body)
+        for name in ("int_domain", "array_sizes"):
+            if name in kwargs:
+                kwargs[name] = tuple(kwargs[name])
+        return cls(**kwargs)
+
+
+def cache_key(ir_hash: str, spec: JobSpec) -> str:
+    """The content address of a job's *result*.
+
+    Everything that can change the verdict, the counterexamples, or
+    the reported state/transition counts is folded in; anything proven
+    result-neutral (worker count, store backend) is not.
+    """
+    h = hashlib.sha256()
+    parts = (
+        KEY_VERSION,
+        ir_hash,
+        repr(spec.properties()),
+        repr(normalize_reduce(spec.reduce)),
+        repr(spec.max_states),
+        repr(spec.max_depth),
+        spec.engine_shape(),
+        repr(spec.process),
+        repr(spec.int_domain if spec.process is not None else None),
+        repr(spec.array_sizes if spec.process is not None else None),
+        repr(spec.max_objects if spec.process is not None else None),
+        repr(spec.env_budget if spec.process is not None else None),
+    )
+    for part in parts:
+        h.update(part.encode())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def job_key_parts(spec: JobSpec) -> tuple[str, str]:
+    """Compile ``spec.source`` and produce ``(ir_hash, cache_key)``
+    (the daemon computes keys itself so two clients racing on one key
+    coalesce before any worker is involved)."""
+    from repro.api import compile_source
+
+    program = compile_source(spec.source, spec.filename)
+    ir_hash = canonical_ir_hash(program)
+    return ir_hash, cache_key(ir_hash, spec)
+
+
+def job_key(spec: JobSpec) -> str:
+    """Compile ``spec.source`` and produce its cache key."""
+    return job_key_parts(spec)[1]

@@ -1,0 +1,351 @@
+"""The disk-backed visited-state store (one job can exceed RAM).
+
+A collapse-compressed visited state is a packed array of ``uint32``
+component indices (:mod:`repro.verify.collapse`) — a *fixed-width* row
+per machine (one index per process, one for the heap vector, one for
+the externals).  This module spills those rows to mmap'd append-only
+segment files and keeps only a compact digest index in memory:
+
+* **segments** — preallocated files of ``rows_per_segment`` rows, each
+  row ``row_bytes`` of key followed by a 4-byte keyed blake2b check.
+  Rows are written strictly append-only through the mmap; a segment
+  never changes once full, and preallocated tail pages are zero, so a
+  torn row (crash mid-append) fails its checksum exactly like garbage;
+* **in-memory digest index** — a dict from the row's 64-bit blake2b
+  digest to its global row id(s).  Membership first probes the index,
+  then confirms against the actual row bytes in the mmap, so a digest
+  collision costs one extra read but can never produce a false
+  "visited" hit (the store stays *exact*, unlike hash-compact mode);
+* **recovery** — reopening a directory validates each segment header
+  (magic, version, row width), replays rows until the first checksum
+  mismatch, zeroes everything after it in that segment, and deletes
+  any later segments (they are unreachable once a hole exists).  A
+  SIGKILLed worker therefore leaves at worst a truncated-but-sound
+  prefix, never corruption and never a false hit.
+
+:class:`DiskVisitedStore` plugs a :class:`DiskKeySet` into the
+standard :class:`~repro.verify.collapse.MachineCollapseStore` — the
+interning pipeline (and its exactness proof) is unchanged; only where
+the per-state keys live differs.  Component tables stay in memory:
+they grow with *distinct components*, while the key rows grow with
+*states* — the term that actually exceeds RAM on big jobs.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import sys
+from hashlib import blake2b
+from pathlib import Path
+
+from repro.verify.collapse import CollapseTables, MachineCollapseStore
+
+MAGIC = b"ESPVSEG1"
+VERSION = 1
+_HEADER = struct.Struct("<8sIII")  # magic, version, row_bytes, capacity
+HEADER_SIZE = 64
+CHECK_BYTES = 4
+_CHECK_KEY = b"esp-visited-row"
+_INDEX_KEY = b"esp-visited-idx"
+
+# Rough per-entry cost of the digest index (int key + int value in a
+# dict), for honest memory accounting.
+_INDEX_ENTRY_COST = 100
+
+
+def _row_check(key: bytes) -> bytes:
+    return blake2b(key, digest_size=CHECK_BYTES, key=_CHECK_KEY).digest()
+
+
+def _row_digest(key: bytes) -> int:
+    return int.from_bytes(
+        blake2b(key, digest_size=8, key=_INDEX_KEY).digest(), "little"
+    )
+
+
+class StoreCorruption(RuntimeError):
+    """A segment file is unusable (bad magic/version/width mismatch)."""
+
+
+class _Segment:
+    """One preallocated, mmap'd segment file."""
+
+    __slots__ = ("path", "file", "map", "row_bytes", "capacity")
+
+    def __init__(self, path: Path, row_bytes: int, capacity: int,
+                 create: bool):
+        self.path = path
+        self.row_bytes = row_bytes
+        self.capacity = capacity
+        size = HEADER_SIZE + capacity * (row_bytes + CHECK_BYTES)
+        if create:
+            fd = os.open(str(path), os.O_CREAT | os.O_RDWR | os.O_EXCL, 0o644)
+            self.file = os.fdopen(fd, "r+b")
+            self.file.truncate(size)
+            self.map = mmap.mmap(self.file.fileno(), size)
+            self.map[:_HEADER.size] = _HEADER.pack(
+                MAGIC, VERSION, row_bytes, capacity
+            )
+        else:
+            self.file = open(path, "r+b")
+            actual = os.fstat(self.file.fileno()).st_size
+            if actual < HEADER_SIZE:
+                self.file.close()
+                raise StoreCorruption(f"{path}: truncated header")
+            if actual < size:
+                # A crash between create and truncate-to-size: grow the
+                # file back to its declared capacity (new bytes are
+                # zero, i.e. checksum-invalid, so nothing is invented).
+                self.file.truncate(size)
+            self.map = mmap.mmap(self.file.fileno(), size)
+            magic, version, width, cap = _HEADER.unpack(
+                self.map[:_HEADER.size]
+            )
+            if magic != MAGIC:
+                raise StoreCorruption(f"{path}: bad magic {magic!r}")
+            if version != VERSION:
+                raise StoreCorruption(f"{path}: version {version}")
+            if width != row_bytes or cap != capacity:
+                raise StoreCorruption(
+                    f"{path}: row width {width}/capacity {cap} does not "
+                    f"match store ({row_bytes}/{capacity})"
+                )
+
+    @classmethod
+    def peek_header(cls, path: Path) -> tuple[int, int] | None:
+        """(row_bytes, capacity) of a segment file, or None when the
+        header is unreadable/stale."""
+        try:
+            with open(path, "rb") as f:
+                head = f.read(_HEADER.size)
+            magic, version, width, cap = _HEADER.unpack(head)
+        except (OSError, struct.error):
+            return None
+        if magic != MAGIC or version != VERSION:
+            return None
+        return width, cap
+
+    def offset(self, row: int) -> int:
+        return HEADER_SIZE + row * (self.row_bytes + CHECK_BYTES)
+
+    def read_key(self, row: int) -> bytes:
+        off = self.offset(row)
+        return self.map[off:off + self.row_bytes]
+
+    def write_row(self, row: int, key: bytes) -> None:
+        off = self.offset(row)
+        self.map[off:off + self.row_bytes] = key
+        self.map[off + self.row_bytes:off + self.row_bytes + CHECK_BYTES] = \
+            _row_check(key)
+
+    def valid_prefix(self) -> int:
+        """Rows from the start whose checksums hold (recovery scan)."""
+        row = 0
+        while row < self.capacity:
+            key = self.read_key(row)
+            off = self.offset(row) + self.row_bytes
+            if self.map[off:off + CHECK_BYTES] != _row_check(key):
+                break
+            row += 1
+        return row
+
+    def zero_from(self, row: int) -> int:
+        """Clear every byte from ``row`` to the end (drop torn rows)."""
+        start = self.offset(row)
+        end = HEADER_SIZE + self.capacity * (self.row_bytes + CHECK_BYTES)
+        if start < end:
+            self.map[start:end] = bytes(end - start)
+        return self.capacity - row
+
+    def flush(self) -> None:
+        self.map.flush()
+
+    def close(self) -> None:
+        try:
+            self.map.close()
+        finally:
+            self.file.close()
+
+
+class DiskKeySet:
+    """A set of fixed-width byte keys, rows on disk + digest index in
+    memory.  Provides the ``add``/``in``/``len`` surface the collapse
+    store's ``_seen`` slot expects.
+
+    The row width is pinned by the first key added (or by recovered
+    segments); adding a key of another width is an error — the packed
+    index arrays of one machine are always the same width.
+    """
+
+    def __init__(self, directory: str | os.PathLike,
+                 rows_per_segment: int = 1 << 16):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.rows_per_segment = rows_per_segment
+        self.row_bytes: int | None = None
+        self._segments: list[_Segment] = []
+        self._count = 0
+        # digest64 -> global row id | list of ids (collision chains).
+        self._index: dict[int, int | list[int]] = {}
+        self.recovered_rows = 0
+        self.truncated_rows = 0
+        self.stale_segments = 0
+        self._recover()
+
+    # -- recovery -----------------------------------------------------------------
+
+    def _segment_paths(self) -> list[Path]:
+        return sorted(self.directory.glob("seg-*.esv"))
+
+    def _recover(self) -> None:
+        paths = self._segment_paths()
+        if not paths:
+            return
+        header = _Segment.peek_header(paths[0])
+        if header is None:
+            # The whole store is stale (foreign/torn first segment):
+            # drop every segment and start clean.
+            for path in paths:
+                path.unlink()
+                self.stale_segments += 1
+            return
+        self.row_bytes, capacity = header
+        if capacity != self.rows_per_segment:
+            self.rows_per_segment = capacity
+        usable = True
+        for path in paths:
+            if not usable:
+                path.unlink()  # unreachable after a hole: stale
+                self.stale_segments += 1
+                continue
+            try:
+                seg = _Segment(path, self.row_bytes, capacity, create=False)
+            except StoreCorruption:
+                path.unlink()
+                self.stale_segments += 1
+                usable = False
+                continue
+            valid = seg.valid_prefix()
+            self.truncated_rows += seg.zero_from(valid)
+            self._segments.append(seg)
+            for row in range(valid):
+                self._index_add(seg.read_key(row), self._count)
+                self._count += 1
+            self.recovered_rows += valid
+            if valid < capacity:
+                usable = False  # this segment has room; later ones are stale
+
+    # -- the set surface ----------------------------------------------------------
+
+    def _index_add(self, key: bytes, row_id: int) -> None:
+        digest = _row_digest(key)
+        current = self._index.get(digest)
+        if current is None:
+            self._index[digest] = row_id
+        elif isinstance(current, int):
+            self._index[digest] = [current, row_id]
+        else:
+            current.append(row_id)
+
+    def _key_at(self, row_id: int) -> bytes:
+        seg = self._segments[row_id // self.rows_per_segment]
+        return seg.read_key(row_id % self.rows_per_segment)
+
+    def __contains__(self, key: bytes) -> bool:
+        candidates = self._index.get(_row_digest(key))
+        if candidates is None:
+            return False
+        if isinstance(candidates, int):
+            return self._key_at(candidates) == key
+        return any(self._key_at(row) == key for row in candidates)
+
+    def add(self, key: bytes) -> None:
+        if self.row_bytes is None:
+            self.row_bytes = len(key)
+        elif len(key) != self.row_bytes:
+            raise ValueError(
+                f"key width {len(key)} != store row width {self.row_bytes}"
+            )
+        if key in self:
+            return
+        row_id = self._count
+        seg_index, row = divmod(row_id, self.rows_per_segment)
+        if seg_index >= len(self._segments):
+            path = self.directory / f"seg-{seg_index:06d}.esv"
+            self._segments.append(
+                _Segment(path, self.row_bytes, self.rows_per_segment,
+                         create=True)
+            )
+        self._segments[seg_index].write_row(row, key)
+        self._index_add(key, row_id)
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- accounting / lifecycle ---------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """In-memory footprint only: the digest index (segment pages
+        are disk-backed and evictable)."""
+        return sys.getsizeof(self._index) + len(self._index) * _INDEX_ENTRY_COST
+
+    def disk_bytes(self) -> int:
+        return sum(
+            HEADER_SIZE + seg.capacity * (seg.row_bytes + CHECK_BYTES)
+            for seg in self._segments
+        )
+
+    def flush(self) -> None:
+        for seg in self._segments:
+            seg.flush()
+
+    def close(self) -> None:
+        for seg in self._segments:
+            seg.close()
+        self._segments.clear()
+
+    def stats(self) -> dict:
+        return {
+            "kind": "disk-segments",
+            "rows": self._count,
+            "row_bytes": self.row_bytes or 0,
+            "segments": len(self._segments),
+            "rows_per_segment": self.rows_per_segment,
+            "disk_bytes": self.disk_bytes(),
+            "index_entries": len(self._index),
+            "recovered_rows": self.recovered_rows,
+            "truncated_rows": self.truncated_rows,
+            "stale_segments": self.stale_segments,
+        }
+
+
+class DiskVisitedStore(MachineCollapseStore):
+    """A :class:`~repro.verify.collapse.MachineCollapseStore` whose
+    per-state keys live in a :class:`DiskKeySet` — exact collapse
+    semantics, disk-resident visited set.  Pass it (or a factory) as
+    the serial :class:`~repro.verify.explorer.Explorer`'s ``store``."""
+
+    kind = "collapse-disk"
+
+    __slots__ = ()
+
+    def __init__(self, directory: str | os.PathLike,
+                 tables: CollapseTables | None = None,
+                 rows_per_segment: int = 1 << 16):
+        super().__init__(
+            tables=tables,
+            key_set=DiskKeySet(directory, rows_per_segment=rows_per_segment),
+        )
+
+    @property
+    def key_set(self) -> DiskKeySet:
+        return self._seen
+
+    def flush(self) -> None:
+        self._seen.flush()
+
+    def close(self) -> None:
+        self._seen.close()

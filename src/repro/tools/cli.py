@@ -9,6 +9,8 @@ Subcommands::
     espc verify  pgm.esp [--process NAME] [--max-states N] [--jobs N]
     espc stats   pgm.esp            # optimizer statistics
     espc sim     [--messages N] [--faults SEED:rates] [--stats-json]
+    espc serve   --socket S [--workers N] [--cache-dir D]
+    espc submit  pgm.esp --socket S [verify flags] [--stats-json]
 
 ``run`` executes through the interpreter; external channels are not
 available from the CLI (wire them up through the Python API).
@@ -19,6 +21,10 @@ firmware on the simulated NIC pair, optionally over a faulty link
 (``--faults SEED:drop=0.05,dup=0.02,...``, see docs/FAULTS.md); it
 exits non-zero when the run does not converge or a payload is lost,
 duplicated, or reordered.
+``serve`` runs the verification daemon (job queue, forked worker pool,
+content-addressed result cache — docs/SERVE.md); ``submit`` sends one
+verification job to a running daemon and prints the verdict exactly
+as ``espc verify`` would have.
 """
 
 from __future__ import annotations
@@ -248,6 +254,106 @@ def cmd_sim(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_serve(args) -> int:
+    from repro.serve.daemon import ServeDaemon, serve_until_stopped
+
+    daemon = ServeDaemon(
+        socket_path=args.socket,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        max_cache_entries=args.max_cache_entries,
+    )
+    print(f"espc serve: listening on {daemon.socket_path} "
+          f"({args.workers} worker(s), cache "
+          f"{'disk+memory' if args.cache_dir else 'memory'})",
+          file=sys.stderr)
+    stats = serve_until_stopped(daemon)
+    if args.stats_json:
+        import json
+
+        print(json.dumps(stats, sort_keys=True))
+    else:
+        _print_stats(stats)
+    return 0
+
+
+def _render_result_summary(body: dict, cached: bool) -> str:
+    status = ("ok" if not body["violations"]
+              else f"{len(body['violations'])} violation(s)")
+    cached_tag = " [cached]" if cached else ""
+    return (
+        f"{body['states']} states, {body['transitions']} transitions "
+        f"expanded ({body['transitions_pruned']} pruned), "
+        f"depth {body['max_depth']}{cached_tag} [{status}]"
+    )
+
+
+def _render_violation(violation: dict) -> str:
+    header = f"[{violation['kind']}] {violation['message']}"
+    trace = violation.get("trace") or []
+    if not trace:
+        return header
+    steps = "\n".join(f"  {i + 1}. {step}" for i, step in enumerate(trace))
+    return f"{header}\ntrace ({len(trace)} steps):\n{steps}"
+
+
+def cmd_submit(args) -> int:
+    from repro.serve.client import ServeClient, ServeError
+    from repro.serve.keys import JobSpec
+
+    if args.file is None and not args.shutdown:
+        print("espc: error: submit needs a file (or --shutdown)",
+              file=sys.stderr)
+        return 2
+    try:
+        with ServeClient(args.socket, timeout=args.timeout) as client:
+            reply = None
+            if args.file is not None:
+                spec = JobSpec(
+                    source=_read(args.file),
+                    filename=args.file,
+                    process=args.process,
+                    max_states=args.max_states,
+                    max_depth=args.max_depth,
+                    reduce=None if args.reduce in (None, "none")
+                    else args.reduce,
+                    parallel=args.jobs,
+                    store=args.store,
+                )
+                reply = client.submit(spec)
+            server_stats = client.stats() if args.stats_json else None
+            if args.shutdown:
+                client.shutdown()
+    except (OSError, ServeError) as err:
+        print(f"espc: error: cannot reach daemon on {args.socket}: {err}",
+              file=sys.stderr)
+        return 2
+    if reply is None:
+        return 0
+    if not reply.get("ok"):
+        print(f"espc: error: {reply.get('error', reply)}", file=sys.stderr)
+        return 2
+    body = reply["result"]
+    print(_render_result_summary(body, reply.get("cached", False)))
+    for violation in body["violations"]:
+        print(_render_violation(violation))
+    if args.stats_json:
+        import json
+
+        print(json.dumps(
+            {
+                "cached": reply.get("cached", False),
+                "coalesced": reply.get("coalesced", False),
+                "key": reply.get("key"),
+                "ir_hash": reply.get("ir_hash"),
+                "result": body,
+                "server": server_stats,
+            },
+            sort_keys=True,
+        ))
+    return 0 if not body["violations"] else 1
+
+
 def cmd_pretty(args) -> int:
     from repro.lang.parser import parse
     from repro.lang.pretty import print_program
@@ -382,6 +488,61 @@ def build_parser() -> argparse.ArgumentParser:
                         "(byte-identical for identical plans)")
     _add_engine_flag(p)
     p.set_defaults(fn=cmd_sim)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the verification daemon (job queue + worker pool + "
+             "content-addressed result cache; docs/SERVE.md)",
+    )
+    p.add_argument("--socket", default="./esp-serve.sock",
+                   help="Unix socket path to listen on "
+                        "(default ./esp-serve.sock)")
+    p.add_argument("--workers", type=_positive_int, default=2,
+                   help="forked verification workers (default 2)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent result-cache directory (default: "
+                        "memory-only; entries die with the daemon)")
+    p.add_argument("--max-cache-entries", type=_positive_int, default=1024,
+                   help="memory-tier LRU size (evicted entries stay on "
+                        "disk when --cache-dir is set)")
+    p.add_argument("--stats-json", action="store_true",
+                   help="print the final observability counters (queue "
+                        "depth, cache hits/misses, evictions, per-job "
+                        "state counts) as one JSON object on exit")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="send one verification job to a running espc serve daemon",
+    )
+    p.add_argument("file", nargs="?",
+                   help="ESP source to verify (optional with --shutdown)")
+    p.add_argument("--socket", default="./esp-serve.sock",
+                   help="daemon socket (default ./esp-serve.sock)")
+    p.add_argument("--process", help="verify one process's memory safety")
+    p.add_argument("--max-states", type=int, default=200_000)
+    p.add_argument("--max-depth", type=int, default=None)
+    p.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="run the job under the sharded breadth-first engine with N "
+             "fork workers (default: serial depth-first)",
+    )
+    p.add_argument("--reduce", choices=("por", "sym", "por,sym", "none"),
+                   default=None)
+    p.add_argument(
+        "--store", choices=("collapse", "plain", "disk"), default="collapse",
+        help="visited-store backend; 'disk' spills visited states to "
+             "mmap'd segments so one job can exceed RAM (docs/SERVE.md)",
+    )
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="seconds to wait for the daemon's reply")
+    p.add_argument("--shutdown", action="store_true",
+                   help="ask the daemon to shut down (after the job, "
+                        "if a file was given)")
+    p.add_argument("--stats-json", action="store_true",
+                   help="print the job result plus the daemon's "
+                        "observability counters as one JSON object")
+    p.set_defaults(fn=cmd_submit)
 
     p = sub.add_parser("stats", help="optimizer statistics")
     p.add_argument("file")

@@ -102,23 +102,80 @@ class ComponentTable:
         }
 
 
-class MachineCollapseStore:
-    """Collapse-compressed visited store for plain :class:`Machine`
-    canonical states ``(procs, heap_entries, ext)``."""
+class CollapseTables:
+    """The four component tables of a :class:`MachineCollapseStore`,
+    bundled so a long-lived process (an ``espc serve`` worker) can
+    retain them across verification jobs: re-verifying an edited
+    program re-interns every *unchanged* component to its existing
+    index instead of re-measuring and re-storing it.  Interning is
+    injective regardless of what else the tables hold, so sharing them
+    between programs is sound — each store still keeps its own visited
+    set.
 
-    kind = "collapse"
+    ``size_seen`` travels with the tables because the payload-byte
+    accounting deduplicates against the components the tables keep
+    alive.  ``reset_if_over`` bounds long-lived growth: once the
+    component count crosses the limit, the tables start over (the next
+    job simply re-interns from scratch)."""
 
-    __slots__ = ("procs", "objects", "vectors", "exts", "_seen",
-                 "_key_bytes", "_size_seen", "_proc_cache")
+    __slots__ = ("procs", "objects", "vectors", "exts", "size_seen",
+                 "resets", "jobs_served")
 
     def __init__(self):
+        self.resets = 0
+        self.jobs_served = 0
+        self._fresh()
+
+    def _fresh(self) -> None:
         self.procs = ComponentTable("process")
         self.objects = ComponentTable("heap-object")
         self.vectors = ComponentTable("heap-vector")
         self.exts = ComponentTable("external")
-        self._seen: set[bytes] = set()
+        self.size_seen: set[int] = set()
+
+    def component_count(self) -> int:
+        return (len(self.procs) + len(self.objects) + len(self.vectors)
+                + len(self.exts))
+
+    def reset_if_over(self, limit: int) -> bool:
+        if self.component_count() <= limit:
+            return False
+        self._fresh()
+        self.resets += 1
+        return True
+
+    def stats(self) -> dict:
+        return {
+            "components": self.component_count(),
+            "resets": self.resets,
+            "jobs_served": self.jobs_served,
+        }
+
+
+class MachineCollapseStore:
+    """Collapse-compressed visited store for plain :class:`Machine`
+    canonical states ``(procs, heap_entries, ext)``.
+
+    ``tables`` plugs in a retained :class:`CollapseTables` bundle
+    (fresh tables are built otherwise); ``key_set`` replaces the
+    in-memory visited set with any object providing ``add``/``in``/
+    ``len`` over packed index keys — the disk-backed store of
+    :mod:`repro.serve.store` passes its mmap-segment set here."""
+
+    kind = "collapse"
+
+    __slots__ = ("procs", "objects", "vectors", "exts", "_seen",
+                 "_key_bytes", "_size_seen", "_proc_cache", "_tables")
+
+    def __init__(self, tables: CollapseTables | None = None, key_set=None):
+        self._tables = tables if tables is not None else CollapseTables()
+        self.procs = self._tables.procs
+        self.objects = self._tables.objects
+        self.vectors = self._tables.vectors
+        self.exts = self._tables.exts
+        self._seen = key_set if key_set is not None else set()
         self._key_bytes = 0
-        self._size_seen: set[int] = set()
+        self._size_seen = self._tables.size_seen
         # pid -> (snapshot record, interned index): the index of a
         # process's canonical entry, valid while the process is
         # untouched (same identity check as ProcessState._canon).
@@ -307,14 +364,20 @@ class MachineCollapseStore:
 
     def memory_bytes(self) -> int:
         """Actual footprint: component payloads + table dicts + the
-        per-state index keys + the visited set itself."""
-        total = self._key_bytes + sys.getsizeof(self._seen)
+        per-state index keys + the visited set itself.  A pluggable
+        key set reports its own (in-memory) footprint — for the
+        disk-backed set that is its digest index, not its segments."""
+        seen = self._seen
+        if hasattr(seen, "memory_bytes"):
+            total = seen.memory_bytes()
+        else:
+            total = self._key_bytes + sys.getsizeof(seen)
         for table in (self.procs, self.objects, self.vectors, self.exts):
             total += table.payload_bytes + sys.getsizeof(table.index_of)
         return total
 
     def stats(self) -> dict:
-        return {
+        stats = {
             "kind": self.kind,
             "states": len(self._seen),
             "key_bytes": self._key_bytes,
@@ -325,6 +388,9 @@ class MachineCollapseStore:
                               self.exts)
             },
         }
+        if hasattr(self._seen, "stats"):
+            stats["key_set"] = self._seen.stats()
+        return stats
 
 
 class GenericCollapseStore:
@@ -431,11 +497,18 @@ class PlainStore:
         }
 
 
-def make_visited_store(machine, kind: str = "collapse"):
+def make_visited_store(machine, kind="collapse"):
     """The visited store for ``machine``: collapse compression by
     default, shaped by whether the machine uses the plain-Machine
     canonical encoding; ``kind="plain"`` selects the uncompressed
-    reference store."""
+    reference store.  ``kind`` may also be a ready store instance
+    (anything with ``add_current``) or a factory ``machine -> store``
+    — the disk-backed store of :mod:`repro.serve.store` arrives
+    through these."""
+    if hasattr(kind, "add_current"):
+        return kind
+    if callable(kind):
+        return kind(machine)
     if kind == "plain":
         return PlainStore()
     if kind != "collapse":

@@ -83,7 +83,10 @@ class Explorer:
         max_states: int | None = None,
         max_depth: int | None = None,
         stop_at_first: bool = True,
-        store: str = "collapse",
+        # "collapse", "plain", a ready store instance, or a factory
+        # ``machine -> store`` (see repro.verify.collapse.make_visited_store;
+        # an instance must be fresh — explore() fills its visited set).
+        store="collapse",
         reduce: str | None = None,
     ):
         self.machine = machine

@@ -1,0 +1,231 @@
+"""End-to-end tests for the ``espc serve`` daemon.
+
+Everything here drives the real CLI daemon over its Unix socket: the
+submit path (verdict parity with a serial ``espc verify`` run), the
+content-addressed cache (O(1) resubmission, alpha-rename hits,
+persistent disk tier), same-key request coalescing, compile-error
+replies, observability counters, and — the satellite fix — a shutdown
+that reaps every forked worker and removes every socket/tempfile even
+while jobs are still queued (the leak check).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.keys import JobSpec
+from repro.serve.worker import deterministic_body
+from repro.vmmc.retransmission import protocol_source
+from tests.serve_util import (
+    canonical_json,
+    chain_source,
+    daemon_process,
+    processes_matching,
+    serial_reference,
+)
+
+OK_SOURCE = chain_source(3)
+VIOLATING_SOURCE = chain_source(3, assert_bound=1)
+
+ALPHA_RENAMED_OK = OK_SOURCE.replace("x", "value").replace("$n", "$count") \
+                            .replace("n <", "count <").replace("n =", "count =") \
+                            .replace("n + 1", "count + 1")
+
+
+def test_submit_matches_serial_verify(tmp_path):
+    specs = [
+        JobSpec(source=OK_SOURCE),
+        JobSpec(source=VIOLATING_SOURCE),
+        JobSpec(source=OK_SOURCE, store="disk"),
+        JobSpec(source=VIOLATING_SOURCE, parallel=2),
+        JobSpec(source=protocol_source(2, 2), quiescence_ok=False),
+    ]
+    with daemon_process(tmp_path) as daemon:
+        with ServeClient(daemon.socket) as client:
+            for spec in specs:
+                reply = client.submit(spec, check=True)
+                assert reply["ok"], reply
+                assert canonical_json(deterministic_body(reply["result"])) \
+                    == canonical_json(serial_reference(spec))
+
+
+def test_cache_hit_on_resubmission(tmp_path):
+    with daemon_process(tmp_path) as daemon:
+        with ServeClient(daemon.socket) as client:
+            first = client.submit(JobSpec(source=OK_SOURCE), check=True)
+            assert first["cached"] is False
+            before = client.stats()["states"]["explored"]
+            second = client.submit(JobSpec(source=OK_SOURCE), check=True)
+            assert second["cached"] is True
+            assert second["key"] == first["key"]
+            # Byte-identical body, and no exploration happened for it.
+            assert canonical_json(second["result"]) \
+                == canonical_json(first["result"])
+            stats = client.stats()
+            assert stats["states"]["explored"] == before
+            assert stats["cache"]["hits"] >= 1
+
+
+def test_alpha_renamed_and_reformatted_source_hits_cache(tmp_path):
+    reformatted = "// a leading comment\n" + \
+        ALPHA_RENAMED_OK.replace("    ", "\t")
+    with daemon_process(tmp_path) as daemon:
+        with ServeClient(daemon.socket) as client:
+            first = client.submit(JobSpec(source=OK_SOURCE), check=True)
+            renamed = client.submit(JobSpec(source=reformatted), check=True)
+            assert renamed["ir_hash"] == first["ir_hash"]
+            assert renamed["key"] == first["key"]
+            assert renamed["cached"] is True
+
+
+def test_differing_bounds_and_modes_miss_cache(tmp_path):
+    base = JobSpec(source=OK_SOURCE)
+    variants = [
+        JobSpec(source=OK_SOURCE, max_states=17),
+        JobSpec(source=OK_SOURCE, max_depth=9),
+        JobSpec(source=OK_SOURCE, reduce="por,sym"),
+        JobSpec(source=OK_SOURCE, check_deadlock=False),
+        JobSpec(source=OK_SOURCE, parallel=2),
+    ]
+    with daemon_process(tmp_path) as daemon:
+        with ServeClient(daemon.socket) as client:
+            first = client.submit(base, check=True)
+            keys = {first["key"]}
+            for spec in variants:
+                reply = client.submit(spec, check=True)
+                assert reply["cached"] is False, spec
+                keys.add(reply["key"])
+            assert len(keys) == len(variants) + 1  # all distinct
+
+
+def test_same_key_race_coalesces_to_one_job(tmp_path):
+    # One worker, occupied by a slow job: the two identical submissions
+    # behind it cannot be answered from the cache, so the second MUST
+    # coalesce onto the first's in-flight future (deterministically —
+    # requests on one connection are read and keyed in order).
+    blocker = JobSpec(source=protocol_source(2, 3), quiescence_ok=False)
+    racer = JobSpec(source=OK_SOURCE)
+    with daemon_process(tmp_path, workers=1) as daemon:
+        with ServeClient(daemon.socket) as client:
+            replies = client.submit_many([blocker, racer, racer])
+            assert all(r["ok"] for r in replies)
+            a, b = replies[1], replies[2]
+            assert canonical_json(a["result"]) == canonical_json(b["result"])
+            assert canonical_json(deterministic_body(a["result"])) \
+                == canonical_json(serial_reference(racer))
+            stats = client.stats()
+            assert stats["jobs"]["coalesced"] == 1
+            # The racing pair cost exactly one exploration.
+            assert stats["jobs"]["completed"] == 2
+
+
+def test_compile_error_reply(tmp_path):
+    with daemon_process(tmp_path) as daemon:
+        with ServeClient(daemon.socket) as client:
+            reply = client.submit(JobSpec(source="process p { out(; }"))
+            assert reply["ok"] is False
+            assert reply["kind"] == "compile"
+            assert reply["error"]
+
+
+def test_persistent_cache_dir_survives_daemon_restart(tmp_path):
+    cache_dir = tmp_path / "cache"
+    spec = JobSpec(source=OK_SOURCE)
+    with daemon_process(tmp_path, cache_dir=cache_dir) as daemon:
+        with ServeClient(daemon.socket) as client:
+            first = client.submit(spec, check=True)
+            assert first["cached"] is False
+    assert list(cache_dir.glob("*.json")), "disk tier not written"
+    with daemon_process(tmp_path, cache_dir=cache_dir) as daemon:
+        with ServeClient(daemon.socket) as client:
+            again = client.submit(spec, check=True)
+            assert again["cached"] is True
+            assert canonical_json(again["result"]) \
+                == canonical_json(first["result"])
+            assert client.stats()["cache"]["disk_hits"] == 1
+
+
+def test_stats_counters_shape(tmp_path):
+    with daemon_process(tmp_path) as daemon:
+        with ServeClient(daemon.socket) as client:
+            client.submit(JobSpec(source=OK_SOURCE), check=True)
+            client.submit(JobSpec(source=OK_SOURCE), check=True)
+            stats = client.stats()
+    assert stats["queue_depth"] == 0
+    assert stats["jobs"]["submitted"] == 2
+    assert stats["jobs"]["completed"] == 1
+    assert stats["cache"]["hits"] == 1 and stats["cache"]["misses"] == 1
+    assert stats["workers"]["alive"] == 2
+    assert stats["keys"]["memo_hits"] == 1
+    assert stats["recent_jobs"] and \
+        stats["recent_jobs"][0]["verdict"] == "ok"
+    json.dumps(stats)  # the whole snapshot must be JSON-able
+
+
+@pytest.mark.slow
+def test_shutdown_under_load_leaves_no_orphans_or_files(tmp_path):
+    """The leak check: kill the daemon while jobs (including parallel
+    ones that fork their own children) are queued and running; nothing
+    may survive — no processes carrying the daemon's command line, no
+    socket file, no spool directory, no stray esp-serve tempdirs."""
+    import threading
+
+    tempdir_before = {
+        name for name in os.listdir(tempfile.gettempdir())
+        if name.startswith("esp-serve-")
+    }
+    specs = []
+    for i in range(12):
+        source = protocol_source(2 + i % 2, 3)
+        specs.append(JobSpec(source=source, quiescence_ok=False,
+                             store="disk" if i % 3 == 0 else "collapse",
+                             parallel=2 if i % 3 == 1 else None,
+                             max_states=50_000 + i))
+    with daemon_process(tmp_path, workers=2) as daemon:
+        with ServeClient(daemon.socket) as client:
+            spool = client.stats()["spool"]
+
+            def flood():
+                try:
+                    with ServeClient(daemon.socket) as flooder:
+                        flooder.submit_many(specs)
+                except Exception:
+                    pass  # shutdown races the flood, by design
+
+            thread = threading.Thread(target=flood)
+            thread.start()
+            # Let the queue fill and workers get busy before pulling
+            # the plug mid-load.
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                stats = client.stats()
+                if stats["queue_depth"] > 0 or stats["inflight"] > 1:
+                    break
+                time.sleep(0.02)
+            marker = daemon.socket
+            assert processes_matching(marker), "daemon not running?"
+            client.shutdown()
+        daemon.proc.wait(timeout=60)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+    # No process still carries the daemon's command line (workers and
+    # their ParallelExplorer fork children inherit it).
+    for _ in range(100):
+        if not processes_matching(marker):
+            break
+        time.sleep(0.05)
+    assert processes_matching(marker) == []
+    assert not os.path.exists(daemon.socket)
+    assert not os.path.exists(spool)
+    tempdir_after = {
+        name for name in os.listdir(tempfile.gettempdir())
+        if name.startswith("esp-serve-")
+    }
+    assert tempdir_after - tempdir_before == set()

@@ -1,0 +1,288 @@
+"""Crash-safety battery for the disk-backed visited-state store
+(:mod:`repro.serve.store`).
+
+The store's contract: membership is *exact* (a digest collision can
+cost a read, never a false "visited" hit), and any crash — torn row,
+half-created segment, SIGKILL mid-append — leaves at worst a
+truncated-but-sound prefix after recovery.  A false hit here is the
+verifier silently skipping reachable states, the worst failure mode a
+model checker has, so every corruption shape gets its own test, ending
+with a real SIGKILL of a real appender and of a daemon worker mid-job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.runtime.machine import Machine
+from repro.serve.keys import JobSpec
+from repro.serve.store import CHECK_BYTES, HEADER_SIZE, DiskKeySet, \
+    DiskVisitedStore
+from repro.serve.worker import deterministic_body
+from repro.verify.environment import default_verification_bridges
+from repro.verify.explorer import Explorer
+from repro.vmmc.retransmission import protocol_source
+from tests.serve_util import canonical_json, chain_source, serial_reference
+
+from repro import compile_source
+
+
+def _key(i: int, width: int = 16) -> bytes:
+    return i.to_bytes(width, "little")
+
+
+# -- the set surface -----------------------------------------------------------
+
+
+def test_roundtrip_and_duplicates(tmp_path):
+    store = DiskKeySet(tmp_path, rows_per_segment=8)
+    for i in range(20):  # crosses two segment boundaries
+        assert _key(i) not in store
+        store.add(_key(i))
+        store.add(_key(i))  # idempotent
+        assert _key(i) in store
+    assert len(store) == 20
+    assert _key(99) not in store
+    assert len(list(tmp_path.glob("seg-*.esv"))) == 3
+    store.close()
+
+
+def test_width_is_pinned_by_first_key(tmp_path):
+    store = DiskKeySet(tmp_path)
+    store.add(_key(1, width=8))
+    with pytest.raises(ValueError, match="width"):
+        store.add(_key(1, width=16))
+    store.close()
+
+
+def test_reopen_recovers_everything(tmp_path):
+    store = DiskKeySet(tmp_path, rows_per_segment=8)
+    for i in range(13):
+        store.add(_key(i))
+    store.flush()
+    store.close()
+
+    reopened = DiskKeySet(tmp_path)
+    assert len(reopened) == 13
+    assert reopened.recovered_rows == 13
+    assert reopened.rows_per_segment == 8  # adopted from the header
+    for i in range(13):
+        assert _key(i) in reopened
+    assert _key(13) not in reopened  # no false hit from zeroed tail
+    reopened.add(_key(13))  # appending after recovery keeps working
+    assert len(reopened) == 14
+    reopened.close()
+
+
+# -- corruption shapes ---------------------------------------------------------
+
+
+def test_torn_row_is_truncated(tmp_path):
+    store = DiskKeySet(tmp_path, rows_per_segment=8)
+    for i in range(5):
+        store.add(_key(i))
+    store.flush()
+    row_bytes = store.row_bytes
+    store.close()
+
+    # Tear row 3 the way a crash mid-append would: some key bytes
+    # land, the checksum does not.
+    path = sorted(tmp_path.glob("seg-*.esv"))[0]
+    offset = HEADER_SIZE + 3 * (row_bytes + CHECK_BYTES)
+    with open(path, "r+b") as f:
+        f.seek(offset)
+        f.write(b"\xff" * (row_bytes // 2))
+
+    reopened = DiskKeySet(tmp_path)
+    assert len(reopened) == 3           # the sound prefix
+    assert reopened.truncated_rows == 5  # rows 3..7 zeroed
+    for i in range(3):
+        assert _key(i) in reopened
+    # Rows 3 and 4 were written but fall after the tear: they MUST
+    # read as unvisited (false hits are the one unforgivable failure).
+    assert _key(3) not in reopened
+    assert _key(4) not in reopened
+    reopened.close()
+
+
+def test_segments_after_a_hole_are_stale(tmp_path):
+    store = DiskKeySet(tmp_path, rows_per_segment=4)
+    for i in range(12):  # three full segments
+        store.add(_key(i))
+    store.flush()
+    row_bytes = store.row_bytes
+    store.close()
+
+    # Corrupt the *middle* segment's first row: segment 1 truncates to
+    # zero rows, so segment 2 is unreachable and must be deleted.
+    middle = sorted(tmp_path.glob("seg-*.esv"))[1]
+    with open(middle, "r+b") as f:
+        f.seek(HEADER_SIZE + row_bytes)  # the checksum of row 0
+        f.write(b"\x00" * CHECK_BYTES)
+
+    reopened = DiskKeySet(tmp_path)
+    assert len(reopened) == 4
+    assert reopened.stale_segments == 1
+    for i in range(4):
+        assert _key(i) in reopened
+    for i in range(4, 12):
+        assert _key(i) not in reopened
+    assert len(list(tmp_path.glob("seg-*.esv"))) == 2
+    reopened.close()
+
+
+def test_foreign_first_segment_drops_the_store(tmp_path):
+    (tmp_path / "seg-000000.esv").write_bytes(b"not a segment at all")
+    (tmp_path / "seg-000001.esv").write_bytes(b"also garbage")
+    store = DiskKeySet(tmp_path)
+    assert len(store) == 0
+    assert store.stale_segments == 2
+    assert list(tmp_path.glob("seg-*.esv")) == []
+    store.add(_key(1))
+    assert _key(1) in store
+    store.close()
+
+
+def test_half_created_segment_grows_back_zeroed(tmp_path):
+    store = DiskKeySet(tmp_path, rows_per_segment=8)
+    for i in range(3):
+        store.add(_key(i))
+    store.flush()
+    store.close()
+    # A crash between create and truncate-to-size leaves a short file.
+    path = sorted(tmp_path.glob("seg-*.esv"))[0]
+    full = path.stat().st_size
+    with open(path, "r+b") as f:
+        f.truncate(full - 17)
+    reopened = DiskKeySet(tmp_path)
+    # Row 7's tail was cut; rows 0..6 can still checksum — but only
+    # 0..2 were ever written, so exactly those recover.
+    assert len(reopened) == 3
+    assert path.stat().st_size == full
+    reopened.close()
+
+
+# -- SIGKILL a real appender ---------------------------------------------------
+
+
+def _appender(directory: str) -> None:
+    store = DiskKeySet(directory, rows_per_segment=64)
+    i = 0
+    while True:  # append forever; flush sometimes; die by SIGKILL
+        store.add(_key(i))
+        if i % 16 == 0:
+            store.flush()
+        i += 1
+
+
+@pytest.mark.slow
+def test_sigkill_mid_append_recovers_a_sound_prefix(tmp_path):
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=_appender, args=(str(tmp_path),))
+    proc.start()
+    # Let it write a few segments' worth, then pull the plug.
+    deadline = time.monotonic() + 20
+    while time.monotonic() < deadline:
+        if len(list(tmp_path.glob("seg-*.esv"))) >= 3:
+            break
+        time.sleep(0.01)
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join(10)
+
+    reopened = DiskKeySet(tmp_path)
+    n = len(reopened)
+    assert n > 0
+    # The recovered rows are exactly the prefix 0..n-1 of the appended
+    # sequence: membership for each, no false hit past the end, and the
+    # digest index agrees with the mmap contents.
+    for i in range(n):
+        assert _key(i) in reopened, f"row {i} lost from a sound prefix"
+    for probe in range(n, n + 64):
+        assert _key(probe) not in reopened, \
+            f"false 'visited' hit for never-recovered row {probe}"
+    reopened.add(_key(n))  # the store stays appendable after recovery
+    assert len(reopened) == n + 1
+    reopened.close()
+
+
+# -- exactness under the explorer ----------------------------------------------
+
+
+def _explore(source: str, store):
+    program = compile_source(source)
+    machine = Machine(program,
+                      externals=default_verification_bridges(program))
+    return Explorer(machine, quiescence_ok=False, stop_at_first=False,
+                    store=store).explore()
+
+
+@pytest.mark.parametrize("source", [
+    chain_source(4),
+    chain_source(3, assert_bound=1),
+    protocol_source(2, 3),
+])
+def test_disk_store_is_exact_vs_collapse(tmp_path, source):
+    plain = _explore(source, "collapse")
+    disk = _explore(source, DiskVisitedStore(tmp_path / "job"))
+    assert disk.states == plain.states
+    assert disk.transitions == plain.transitions
+    assert disk.ok == plain.ok
+    assert [str(v) for v in disk.violations] == \
+        [str(v) for v in plain.violations]
+
+
+# -- the daemon-level crash: SIGKILL a worker mid-job --------------------------
+
+
+@pytest.mark.slow
+def test_worker_sigkill_mid_job_retries_cleanly(tmp_path):
+    from repro.serve.client import ServeClient
+    from tests.serve_util import daemon_process
+
+    # Full exploration (~2s, no early stop): a wide-open window to
+    # SIGKILL the worker while segments are being appended.
+    spec = JobSpec(source=protocol_source(4, 5), store="disk")
+    with daemon_process(tmp_path, workers=1) as daemon:
+        with ServeClient(daemon.socket) as client:
+            victim = client.stats()["workers"]["pids"][0]
+            import threading
+
+            outcome = {}
+
+            def submit():
+                with ServeClient(daemon.socket) as submitter:
+                    outcome["reply"] = submitter.submit(spec)
+
+            thread = threading.Thread(target=submit)
+            thread.start()
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                stats = client.stats()
+                if stats["inflight"] == 1 and stats["workers"]["idle"] == 0:
+                    break
+                time.sleep(0.02)
+            time.sleep(0.3)  # let the disk store write some segments
+            os.kill(victim, signal.SIGKILL)
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+
+            reply = outcome["reply"]
+            assert reply["ok"], reply
+            # The retry produced the exact serial answer, on attempt 1,
+            # and the recovery scan of the dead attempt's segments ran.
+            assert reply["worker"]["attempt"] == 1
+            recovery = reply["worker"]["store_recovery"]
+            assert recovery is not None
+            assert recovery["truncated_rows"] >= 0  # scan completed
+            assert canonical_json(deterministic_body(reply["result"])) \
+                == canonical_json(serial_reference(spec))
+            stats = client.stats()
+            assert stats["jobs"]["retried"] == 1
+            assert stats["workers"]["respawned"] == 1
+            assert stats["workers"]["alive"] == 1
