@@ -8,22 +8,42 @@ through the interpreter, the baseline through the Appendix-A handler
 framework), and all costs are counted cycles, so results are
 deterministic."""
 
-from repro.sim.events import Simulator
+from repro.sim.events import DISPATCH_MODES, Simulator
 from repro.sim.timing import CostModel, ReliabilityCounters
 from repro.sim.dma import DMAEngine
 from repro.sim.faults import FaultPlan, FaultSession
 from repro.sim.network import Wire
 from repro.sim.nic import NIC, FirmwareAction, FirmwareBase, FirmwareInput
 from repro.sim.host import Host
+from repro.sim.switch import Switch, SwitchConfig
+from repro.sim.fabric import (
+    FabricConfig,
+    FabricNodeFirmware,
+    FabricReport,
+    Flow,
+    SCENARIOS,
+    build_flows,
+    run_fabric,
+)
 
 __all__ = [
     "Simulator",
+    "DISPATCH_MODES",
     "CostModel",
     "ReliabilityCounters",
     "DMAEngine",
     "FaultPlan",
     "FaultSession",
     "Wire",
+    "Switch",
+    "SwitchConfig",
+    "FabricConfig",
+    "FabricNodeFirmware",
+    "FabricReport",
+    "Flow",
+    "SCENARIOS",
+    "build_flows",
+    "run_fabric",
     "NIC",
     "Host",
     "FirmwareBase",

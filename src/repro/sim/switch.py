@@ -1,0 +1,263 @@
+"""A shared-buffer output-queued switch joining N NIC ports.
+
+The fabric generalisation of :class:`repro.sim.network.Wire`: every
+node's NIC hangs off one switch port, and a packet crosses two links
+(node → switch, switch → node) plus the switch itself:
+
+* **uplink** — the sending NIC serialises the packet onto its link at
+  the port speed (back-to-back packets queue behind ``busy_until``,
+  exactly like one direction of the wire), then the packet propagates
+  to the switch;
+* **routing + admission** — the switch routes by the packet's ``dest``
+  field into the destination port's egress queue.  Queued packets
+  occupy the *shared* packet buffer; when admitting a packet would
+  exceed the shared capacity — or the destination port's own cap,
+  which keeps one congested port (incast!) from monopolising the
+  buffer — the packet is **dropped** and counted, never blocked:
+  congestion can cost retransmissions but can never deadlock the
+  fabric;
+* **egress** — each port serialises its queue one packet at a time at
+  port speed (the contention point under incast and hot-receiver
+  traffic), then the packet propagates down the link to the NIC.
+
+Both link directions of every port carry their own fault-injector
+streams (``up<i>`` / ``down<i>``, see :mod:`repro.sim.faults`), so one
+:class:`~repro.sim.faults.FaultPlan` is reused per-link exactly as the
+2-node wire uses ``wire0``/``wire1``.  All state advances through the
+deterministic event queue, so one seed yields byte-identical stats.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.sim.events import Simulator
+from repro.sim.timing import CostModel
+
+
+@dataclass(frozen=True)
+class SwitchConfig:
+    """Fabric knobs: port speed (the contention point), per-hop
+    propagation latency, the shared packet buffer, and the per-port
+    buffer cap.  ``None`` means "inherit from the cost model" for the
+    link parameters and "half the shared buffer" for the port cap."""
+
+    port_mb_s: float | None = None
+    latency_us: float | None = None
+    buffer_bytes: int = 262_144
+    port_cap_bytes: int | None = None
+
+
+class _Uplink:
+    """One node → switch link: serialisation clock, fault dice, stats."""
+
+    def __init__(self, label: str, injector=None):
+        self.label = label
+        self.injector = injector
+        self.busy_until = 0.0
+        self.packets = 0
+        self.bytes = 0
+        self.delivered = 0
+        self.lost = 0
+
+    def stats(self) -> dict:
+        return {
+            "packets": self.packets,
+            "bytes": self.bytes,
+            "delivered": self.delivered,
+            "lost": self.lost,
+        }
+
+
+class _Egress:
+    """One switch → node port: FIFO queue, serialiser, fault dice."""
+
+    def __init__(self, label: str, injector=None):
+        self.label = label
+        self.injector = injector
+        self.queue: deque = deque()
+        self.queued_bytes = 0
+        self.queue_peak_bytes = 0
+        self.serving = False
+        self.enqueued = 0
+        self.sent = 0
+        self.bytes = 0
+        self.delivered = 0
+        self.lost = 0
+        self.congestion_drops = 0
+
+    def stats(self) -> dict:
+        return {
+            "enqueued": self.enqueued,
+            "sent": self.sent,
+            "bytes": self.bytes,
+            "delivered": self.delivered,
+            "lost": self.lost,
+            "congestion_drops": self.congestion_drops,
+            "queue_peak_bytes": self.queue_peak_bytes,
+        }
+
+
+class Switch:
+    """An N-port switch with the same ``send(side, packet, nbytes)``
+    surface as :class:`~repro.sim.network.Wire`, so a NIC cannot tell
+    whether it is cabled to a wire or a fabric."""
+
+    def __init__(self, sim: Simulator, cost: CostModel, ports: int,
+                 config: SwitchConfig | None = None, faults=None):
+        if ports < 2:
+            raise ValueError(f"a switch needs >= 2 ports, got {ports}")
+        config = config or SwitchConfig()
+        self.sim = sim
+        self.cost = cost
+        self.config = config
+        self.ports = ports
+        self.port_mb_s = (config.port_mb_s if config.port_mb_s is not None
+                          else cost.wire_mb_s)
+        self.latency_us = (config.latency_us if config.latency_us is not None
+                           else cost.wire_latency_us)
+        max_packet = cost.mtu + cost.packet_header_bytes
+        self.buffer_bytes = config.buffer_bytes
+        if self.buffer_bytes < max_packet:
+            raise ValueError(
+                f"shared buffer {self.buffer_bytes} B cannot hold one "
+                f"max-size packet ({max_packet} B)"
+            )
+        cap = (config.port_cap_bytes if config.port_cap_bytes is not None
+               else self.buffer_bytes // 2)
+        self.port_cap_bytes = max(cap, max_packet)
+        self._nics: list = [None] * ports
+        self._up = [
+            _Uplink(f"up{i}",
+                    faults.wire_injector(f"up{i}") if faults else None)
+            for i in range(ports)
+        ]
+        self._eg = [
+            _Egress(f"down{i}",
+                    faults.wire_injector(f"down{i}") if faults else None)
+            for i in range(ports)
+        ]
+        self.buffer_used = 0
+        self.buffer_peak = 0
+        self.routed = 0
+        self.congestion_drops = 0
+        self.misrouted = 0
+
+    def attach(self, port: int, nic) -> None:
+        self._nics[port] = nic
+
+    # -- uplink -------------------------------------------------------------------
+
+    def send(self, from_port: int, packet: dict, nbytes: int) -> None:
+        """Transmit ``packet`` from a node's NIC into the fabric; the
+        NIC named by ``packet['dest']`` receives it after two link
+        crossings and the egress queue."""
+        up = self._up[from_port]
+        begin = max(self.sim.now, up.busy_until)
+        done = begin + nbytes / self.port_mb_s
+        up.busy_until = done
+        up.packets += 1
+        up.bytes += nbytes
+        if up.injector is None:
+            deliveries = [(0.0, packet)]
+        else:
+            deliveries = up.injector.apply(packet)
+        if not deliveries:
+            up.lost += 1
+        for extra_us, pkt in deliveries:
+            up.delivered += 1
+            self.sim.at(done + self.latency_us + extra_us,
+                        self._ingress, pkt, nbytes)
+
+    # -- routing + admission ------------------------------------------------------
+
+    def _ingress(self, packet: dict, nbytes: int) -> None:
+        dest = packet.get("dest")
+        if not isinstance(dest, int) or not 0 <= dest < self.ports:
+            self.misrouted += 1
+            return
+        self.routed += 1
+        port = self._eg[dest]
+        if (self.buffer_used + nbytes > self.buffer_bytes
+                or port.queued_bytes + nbytes > self.port_cap_bytes):
+            # Admission failure is a drop, never a stall: the reliable
+            # firmware above recovers by retransmission, and nothing
+            # downstream ever waits on switch buffer space.
+            port.congestion_drops += 1
+            self.congestion_drops += 1
+            return
+        self.buffer_used += nbytes
+        self.buffer_peak = max(self.buffer_peak, self.buffer_used)
+        port.queued_bytes += nbytes
+        port.queue_peak_bytes = max(port.queue_peak_bytes, port.queued_bytes)
+        port.queue.append((packet, nbytes))
+        port.enqueued += 1
+        if not port.serving:
+            self._service(dest)
+
+    # -- egress -------------------------------------------------------------------
+
+    def _service(self, port_index: int) -> None:
+        port = self._eg[port_index]
+        if port.serving or not port.queue:
+            return
+        packet, nbytes = port.queue.popleft()
+        port.serving = True
+        done = self.sim.now + nbytes / self.port_mb_s
+        self.sim.at(done, self._egress_done, port_index, packet, nbytes)
+
+    def _egress_done(self, port_index: int, packet: dict,
+                     nbytes: int) -> None:
+        port = self._eg[port_index]
+        # The packet left the switch: its shared-buffer claim is freed
+        # whether or not the downlink dice then lose it.
+        self.buffer_used -= nbytes
+        port.queued_bytes -= nbytes
+        port.sent += 1
+        port.bytes += nbytes
+        nic = self._nics[port_index]
+        if nic is None:
+            raise RuntimeError(f"switch port {port_index} not attached")
+        if port.injector is None:
+            deliveries = [(0.0, packet)]
+        else:
+            deliveries = port.injector.apply(packet)
+        if not deliveries:
+            port.lost += 1
+        for extra_us, pkt in deliveries:
+            port.delivered += 1
+            self.sim.schedule(self.latency_us + extra_us,
+                              nic.packet_arrived, pkt)
+        port.serving = False
+        self._service(port_index)
+
+    # -- observability ------------------------------------------------------------
+
+    def quiescent(self) -> bool:
+        """True when no packet occupies the switch (buffer accounting
+        must return to zero at the end of every converged run)."""
+        return (self.buffer_used == 0
+                and all(not p.queue and not p.serving and p.queued_bytes == 0
+                        for p in self._eg))
+
+    def stats(self) -> dict:
+        """Per-link and shared-buffer counters, keyed by stream label
+        (the same labels the fault injector uses)."""
+        out = {
+            "switch": {
+                "ports": self.ports,
+                "routed": self.routed,
+                "congestion_drops": self.congestion_drops,
+                "misrouted": self.misrouted,
+                "buffer_bytes": self.buffer_bytes,
+                "port_cap_bytes": self.port_cap_bytes,
+                "buffer_peak": self.buffer_peak,
+                "buffer_used": self.buffer_used,
+            },
+        }
+        for up in self._up:
+            out[up.label] = up.stats()
+        for eg in self._eg:
+            out[eg.label] = eg.stats()
+        return out

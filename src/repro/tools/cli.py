@@ -221,7 +221,6 @@ def _print_stats(stats: dict, indent: str = "") -> None:
 
 def cmd_sim(args) -> int:
     from repro.sim.faults import FaultPlan
-    from repro.vmmc.retransmission import run_over_faulty_link
 
     plan = None
     if args.faults:
@@ -230,17 +229,52 @@ def cmd_sim(args) -> int:
         except ValueError as err:
             print(f"espc: error: {err}", file=sys.stderr)
             return 2
+    fabric = args.topology is not None or args.scenario is not None
     with _select_engine(args):
         _check_engine_env()
-        report = run_over_faulty_link(
-            messages=args.messages,
-            messages_back=args.messages if args.bidirectional else 0,
-            plan=plan,
-            window=args.window,
-            chunk_bytes=args.chunk_bytes,
-            timeout_us=args.timeout_us,
-            deadline_us=args.deadline_us,
-        )
+        if fabric:
+            from repro.sim.fabric import FabricConfig, run_fabric
+            from repro.sim.switch import SwitchConfig
+
+            try:
+                config = FabricConfig(
+                    nodes=args.topology if args.topology is not None else 2,
+                    scenario=args.scenario or "pairwise",
+                    # Fabric scenarios multiply the message count by the
+                    # flow count, so the per-flow default is small.
+                    messages=args.messages if args.messages is not None else 8,
+                    messages_back=(args.messages or 8)
+                    if args.bidirectional else 0,
+                    seed=args.seed,
+                    window=args.window,
+                    chunk_bytes=args.chunk_bytes,
+                    timeout_us=args.timeout_us,
+                    deadline_us=args.deadline_us,
+                    dispatch=args.dispatch,
+                    switch=SwitchConfig(
+                        port_mb_s=args.port_mb_s,
+                        buffer_bytes=args.buffer_bytes
+                        if args.buffer_bytes is not None else 262_144,
+                        port_cap_bytes=args.port_cap_bytes,
+                    ),
+                )
+            except ValueError as err:
+                print(f"espc: error: {err}", file=sys.stderr)
+                return 2
+            report = run_fabric(config, plan=plan)
+        else:
+            from repro.vmmc.retransmission import run_over_faulty_link
+
+            messages = args.messages if args.messages is not None else 200
+            report = run_over_faulty_link(
+                messages=messages,
+                messages_back=messages if args.bidirectional else 0,
+                plan=plan,
+                window=args.window,
+                chunk_bytes=args.chunk_bytes,
+                timeout_us=args.timeout_us,
+                deadline_us=args.deadline_us,
+            )
     ok = report.converged and report.exactly_once_in_order()
     if args.stats_json:
         import json
@@ -463,12 +497,42 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sim",
         help="run the retransmission firmware over the (faulty) "
-             "simulated link",
+             "simulated link, or an N-node switched fabric "
+             "(--topology/--scenario; docs/FABRIC.md)",
     )
-    p.add_argument("--messages", type=_positive_int, default=200,
-                   help="payloads side 0 pushes (default 200)")
+    p.add_argument("--topology", type=_positive_int, default=None,
+                   metavar="N",
+                   help="run an N-node switched fabric instead of the "
+                        "2-node point-to-point link (N=2 uses the "
+                        "legacy wire as the degenerate case)")
+    p.add_argument("--scenario", default=None,
+                   choices=("pairwise", "incast", "all_to_all",
+                            "hot_receiver", "churn"),
+                   help="fabric traffic pattern (default pairwise; "
+                        "implies --topology 2 if not given)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="scenario seed (churn flow selection; fault "
+                        "randomness is seeded by --faults)")
+    p.add_argument("--dispatch", choices=("per-event", "batched"),
+                   default="batched",
+                   help="fabric event-dispatch strategy: 'batched' "
+                        "amortises the convergence check over event "
+                        "batches (counters are identical either way; "
+                        "default batched)")
+    p.add_argument("--buffer-bytes", type=_positive_int, default=None,
+                   help="switch shared packet buffer (default 262144)")
+    p.add_argument("--port-mb-s", type=float, default=None,
+                   help="switch port speed in MB/s (default: the wire "
+                        "speed from the cost model)")
+    p.add_argument("--port-cap-bytes", type=_positive_int, default=None,
+                   help="per-port share of the switch buffer (default: "
+                        "half the shared buffer)")
+    p.add_argument("--messages", type=_positive_int, default=None,
+                   help="payloads per sender (default 200 for the "
+                        "2-node link, 8 per fabric flow)")
     p.add_argument("--bidirectional", action="store_true",
-                   help="side 1 pushes the same number of payloads back")
+                   help="side 1 pushes the same number of payloads back "
+                        "(fabric: pairwise reverse flows)")
     p.add_argument("--window", type=_positive_int, default=8)
     p.add_argument("--chunk-bytes", type=_positive_int, default=1024)
     p.add_argument("--timeout-us", type=float, default=150.0,

@@ -310,10 +310,15 @@ class RetransFirmware(EspMachineFirmware):
     def __init__(self, cost: CostModel, node_id: int, messages: int = 0,
                  window: int = 8, variant: str = "correct",
                  chunk_bytes: int = 1024, timeout_us: float = 150.0,
-                 timeout_max_us: float = 2400.0, backoff: float = 2.0):
+                 timeout_max_us: float = 2400.0, backoff: float = 2.0,
+                 peer: int | None = None):
         super().__init__(cost, node_id)
         self.name = f"retrans[{variant}]"
         self.messages = messages
+        # The node this endpoint's traffic is addressed to.  The
+        # default is the point-to-point wire's other side; the fabric
+        # multiplexer passes an explicit peer per flow.
+        self.peer = (1 - node_id) if peer is None else peer
         self.window = window
         self.variant = variant
         self.chunk_bytes = chunk_bytes
@@ -355,7 +360,7 @@ class RetransFirmware(EspMachineFirmware):
             self._next = seq + 1
         else:
             self.reliability.retransmissions += 1
-        pkt = retrans_data_packet(self.node_id, 1 - self.node_id, seq, val,
+        pkt = retrans_data_packet(self.node_id, self.peer, seq, val,
                                   self.chunk_bytes)
         self._actions.append(
             FirmwareAction("net_send", payload=pkt, nbytes=self.chunk_bytes)
@@ -367,8 +372,7 @@ class RetransFirmware(EspMachineFirmware):
         self._actions.append(
             FirmwareAction(
                 "net_send",
-                payload=retrans_ack_packet(self.node_id, 1 - self.node_id,
-                                           ackno),
+                payload=retrans_ack_packet(self.node_id, self.peer, ackno),
                 nbytes=0,
             )
         )

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.sim.fabric import FabricConfig
 from repro.sim.faults import FaultPlan
+from repro.sim.switch import SwitchConfig
 
 # Small domains keep state spaces tiny (hundreds of states, not
 # thousands): message payload ints, per-channel message counts.
@@ -116,6 +118,35 @@ def fault_plans(draw) -> FaultPlan:
         delay=draw(_RATES),
         corrupt=draw(_RATES),
         dma_stall=draw(_RATES),
+    )
+
+
+@st.composite
+def topologies(draw) -> FabricConfig:
+    """A random bounded fabric configuration.
+
+    Node counts, port speeds, and buffer sizes are drawn from small
+    menus so an end-to-end run stays fast; scenarios are the two the
+    conservation property targets (incast concentrates load on one
+    port, churn staggers flow starts).  The buffer floor (8 KiB) is
+    well above one max-size packet, so tiny draws exercise congestion
+    drops without tripping the constructor's capacity check.
+    """
+    nodes = draw(st.sampled_from((2, 3, 4, 6, 8)))
+    scenario = draw(st.sampled_from(("incast", "churn")))
+    return FabricConfig(
+        nodes=nodes,
+        scenario=scenario,
+        messages=draw(st.integers(min_value=1, max_value=4)),
+        seed=draw(st.integers(min_value=0, max_value=2**16 - 1)),
+        window=draw(st.sampled_from((2, 4, 8))),
+        chunk_bytes=draw(st.sampled_from((256, 1024))),
+        churn_flows=draw(st.integers(min_value=0, max_value=4)),
+        churn_span_us=float(draw(st.sampled_from((500, 2_000)))),
+        switch=SwitchConfig(
+            port_mb_s=draw(st.sampled_from((None, 40.0, 160.0))),
+            buffer_bytes=draw(st.sampled_from((8_192, 32_768, 262_144))),
+        ),
     )
 
 

@@ -95,6 +95,150 @@ def test_nested_scheduling_from_events():
     assert sim.now == 2.0
 
 
+# -- batched dispatch ------------------------------------------------------------
+
+
+def test_dispatch_mode_validation():
+    with pytest.raises(ValueError):
+        Simulator(dispatch="warp")
+    with pytest.raises(ValueError):
+        Simulator(dispatch="batched", batch_events=0)
+
+
+@pytest.mark.parametrize("batch", [1, 2, 3, 7, 64])
+def test_batched_identical_timestamps_fire_in_fifo_order(batch):
+    # Regression (ISSUE 10 satellite): events at identical timestamps
+    # must fire in insertion order regardless of how the batch
+    # boundaries fall inside the timestamp bucket.
+    sim = Simulator(dispatch="batched", batch_events=batch)
+    order = []
+    for tag in range(10):
+        sim.schedule(3.0, order.append, tag)
+    for tag in range(10, 15):
+        sim.schedule(5.0, order.append, tag)
+    sim.run_until(lambda: len(order) >= 15)
+    assert order == list(range(15))
+
+
+@pytest.mark.parametrize("batch", [1, 2, 3, 7, 64])
+def test_batched_run_until_stops_mid_bucket_and_resumes_in_order(batch):
+    # Stopping inside a same-timestamp bucket must leave the remainder
+    # pending (counted by pending()) and fire it in the original
+    # insertion order on resume.
+    sim = Simulator(dispatch="batched", batch_events=batch)
+    order = []
+    for tag in range(12):
+        sim.schedule(4.0, order.append, tag)
+    assert sim.run_until(lambda: len(order) >= 5)
+    assert order == list(range(len(order)))  # a prefix, in order
+    assert sim.pending() == 12 - len(order)
+    sim.run()
+    assert order == list(range(12))
+    assert sim.pending() == 0
+
+
+def test_batched_schedule_into_current_bucket_mid_batch():
+    # An event handler scheduling at delay 0 appends to the in-flight
+    # timestamp bucket; FIFO order must hold across the injection.
+    sim = Simulator(dispatch="batched", batch_events=4)
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0.0, order.append, "injected")
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, order.append, "second")
+    sim.run_until(lambda: len(order) >= 3)
+    assert order == ["first", "second", "injected"]
+
+
+def test_batched_event_order_matches_per_event():
+    # The determinism contract: the two dispatch modes process the
+    # exact same event sequence; only predicate observation differs.
+    def workload(sim, log):
+        def tick(n):
+            log.append((sim.now, n))
+            if n < 30:
+                sim.schedule(1.0 + (n % 3), tick, n + 1)
+                if n % 4 == 0:
+                    sim.schedule(0.0, log.append, ("echo", n))
+
+        sim.schedule(1.0, tick, 0)
+
+    log_pe, log_b = [], []
+    sim_pe = Simulator()
+    workload(sim_pe, log_pe)
+    sim_pe.run_until(lambda: False)
+    sim_b = Simulator(dispatch="batched", batch_events=5)
+    workload(sim_b, log_b)
+    sim_b.run_until(lambda: False)
+    assert log_pe == log_b
+    assert sim_pe.events_processed == sim_b.events_processed
+
+
+def test_batched_run_until_clamps_clock_when_queue_drains():
+    # Parity with the per-event drained-queue clamp: an unsatisfied
+    # predicate advances the clock to the horizon.
+    sim = Simulator(dispatch="batched", batch_events=8)
+    sim.schedule(50.0, lambda: None)
+    assert sim.run_until(lambda: False, until_us=100.0) is False
+    assert sim.now == 100.0
+
+
+def test_batched_converged_run_keeps_event_clock():
+    # A *satisfied* predicate must report the clock of the last event,
+    # not the watchdog horizon (regression: the clamp ran before the
+    # predicate check, so converged fabric runs reported the deadline
+    # as their convergence time).
+    sim = Simulator(dispatch="batched", batch_events=64)
+    done = []
+    sim.schedule(50.0, done.append, 1)
+    assert sim.run_until(lambda: bool(done), until_us=100_000.0) is True
+    assert sim.now == 50.0
+
+
+def test_batched_watchdog_fires_on_drain():
+    sim = Simulator(dispatch="batched", batch_events=8)
+    sim.schedule(50.0, lambda: None)
+    assert sim.run_until(lambda: sim.now >= 100.0, until_us=100.0) is True
+    assert sim.now == 100.0
+
+
+def test_batched_horizon_does_not_fire_future_events():
+    sim = Simulator(dispatch="batched", batch_events=8)
+    fired = []
+    sim.schedule(10.0, fired.append, "early")
+    sim.schedule(200.0, fired.append, "late")
+    assert sim.run_until(lambda: False, until_us=100.0) is False
+    assert fired == ["early"]
+    assert sim.pending() == 1
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_batched_max_events_budget():
+    sim = Simulator(dispatch="batched", batch_events=4)
+
+    def requeue():
+        sim.schedule(1.0, requeue)
+
+    sim.schedule(1.0, requeue)
+    with pytest.raises(RuntimeError):
+        sim.run_until(lambda: False, max_events=100)
+
+
+def test_pending_counts_across_buckets():
+    sim = Simulator()
+    assert sim.pending() == 0
+    for _ in range(3):
+        sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending() == 4
+    sim.run()
+    assert sim.pending() == 0
+
+
 # -- DMA engines -------------------------------------------------------------------
 
 
